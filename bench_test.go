@@ -1,0 +1,158 @@
+package hetbench_test
+
+// One benchmark per paper artifact: each regenerates the corresponding
+// table or figure's data at the small scale and reports headline values
+// as custom metrics, so `go test -bench=. -benchmem` doubles as a full
+// reproduction sweep. The `hetbench` CLI renders the same artifacts as
+// tables (use -scale paper for the paper's sizes).
+
+import (
+	"testing"
+
+	"hetbench/internal/harness"
+	"hetbench/internal/models/modelapi"
+	"hetbench/internal/sim"
+	"hetbench/internal/sim/timing"
+	"hetbench/internal/sloc"
+)
+
+// BenchmarkTable1Characteristics measures the Table I workload
+// characterization (LLC miss rates from cache-simulator trace replay, IPC
+// and boundedness from the timing model).
+func BenchmarkTable1Characteristics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := harness.Table1Data(harness.ScaleSmall)
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.MissRate, "missrate/"+r.App)
+			}
+		}
+	}
+}
+
+// BenchmarkTable4SLOC runs the SLOC counter over this repository's app
+// implementations (Table IV methodology).
+func BenchmarkTable4SLOC(b *testing.B) {
+	total := 0
+	for i := 0; i < b.N; i++ {
+		n, _, err := sloc.CountDir("internal/apps", ".go")
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = n
+	}
+	b.ReportMetric(float64(total), "app-sloc")
+}
+
+// BenchmarkFig7FrequencySweep regenerates the five frequency-sensitivity
+// sub-figures (72 clock points each, replayed from one functional run).
+func BenchmarkFig7FrequencySweep(b *testing.B) {
+	for _, app := range harness.AppNames {
+		b.Run(app, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				series, err := harness.Fig7Data(harness.ScaleSmall, app)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					last := series[len(series)-1]
+					b.ReportMetric(last.Y[len(last.Y)-1], "peak-norm-perf")
+				}
+			}
+		})
+	}
+}
+
+func benchSpeedups(b *testing.B, mk func() *sim.Machine) {
+	for i := 0; i < b.N; i++ {
+		cells := harness.SpeedupData(harness.ScaleSmall, mk)
+		if i == 0 {
+			for _, c := range cells {
+				if c.Precision == timing.Double && c.Model == modelapi.OpenCL {
+					b.ReportMetric(c.Speedup, "dp-speedup/"+c.App)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig8APU regenerates the APU speedup figure (5 apps × 3 models
+// × 2 precisions vs the OpenMP baseline).
+func BenchmarkFig8APU(b *testing.B) { benchSpeedups(b, sim.NewAPU) }
+
+// BenchmarkFig9DGPU regenerates the discrete-GPU speedup figure.
+func BenchmarkFig9DGPU(b *testing.B) { benchSpeedups(b, sim.NewDGPU) }
+
+// BenchmarkFig10Productivity regenerates the Eq. 1 productivity figure on
+// both machines.
+func BenchmarkFig10Productivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		apu := harness.ProductivityData(harness.ScaleSmall, sim.NewAPU)
+		dgpu := harness.ProductivityData(harness.ScaleSmall, sim.NewDGPU)
+		if i == 0 {
+			_, amp, _ := harness.HarmonicMeans(apu)
+			cl, _, _ := harness.HarmonicMeans(dgpu)
+			b.ReportMetric(amp, "apu-hm-amp")
+			b.ReportMetric(cl, "dgpu-hm-opencl")
+		}
+	}
+}
+
+// BenchmarkAblationHC regenerates the Section VII Heterogeneous Compute
+// comparison (async transfer overlap on XSBench).
+func BenchmarkAblationHC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells := harness.AblationHCData(harness.ScaleSmall)
+		if i == 0 {
+			for _, c := range cells {
+				if c.Model == modelapi.HC {
+					b.ReportMetric(c.ElapsedMs, "hc-ms/"+c.App)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkAblationTiling regenerates the Section VI-C CoMD tiling claim.
+func BenchmarkAblationTiling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		flat, tiled := harness.AblationTilesData(harness.ScaleSmall)
+		if i == 0 {
+			b.ReportMetric(flat/tiled, "tiling-speedup")
+		}
+	}
+}
+
+// BenchmarkAblationGridType regenerates the XSBench grid-structure
+// comparison (unionized vs per-nuclide search).
+func BenchmarkAblationGridType(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells := harness.AblationGridTypeData(harness.ScaleSmall)
+		if i == 0 && len(cells) == 2 {
+			b.ReportMetric(cells[0].ElapsedMs/cells[1].ElapsedMs, "union/nuclide-ratio")
+		}
+	}
+}
+
+// BenchmarkAblationDataRegion regenerates the Section III-B data-directive
+// ablation (miniFE OpenACC with vs without the data region).
+func BenchmarkAblationDataRegion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		withMs, withoutMs, _, _ := harness.AblationDataRegionData(harness.ScaleSmall)
+		if i == 0 {
+			b.ReportMetric(withoutMs/withMs, "dataregion-penalty")
+		}
+	}
+}
+
+// BenchmarkScalingMPIX regenerates the MPI+X strong-scaling extension
+// (LULESH slabs over a simulated InfiniBand cluster).
+func BenchmarkScalingMPIX(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := harness.ScalingData(harness.ScaleSmall)
+		if i == 0 && len(results) > 0 {
+			last := results[len(results)-1]
+			b.ReportMetric(last.Efficiency(results[0]), "efficiency-at-32")
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Command hetbench regenerates the paper's tables and figures on the
+// simulated machines.
+//
+// Usage:
+//
+//	hetbench -list
+//	hetbench -exp fig8 [-scale small|default|paper]
+//	hetbench -exp all  [-scale default]
+//
+// Experiment ids: table1 table2 table3 table4 fig7 fig8 fig9 fig10 fig11
+// hc tiles dataregion, or "all".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hetbench/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
+	scaleFlag := flag.String("scale", "default", "problem scale: small | default | paper")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	reg := harness.Registry()
+	if *list {
+		for _, id := range harness.IDs() {
+			e := reg[id]
+			fmt.Printf("%-11s %s\n            %s\n", e.ID, e.Title, e.Description)
+		}
+		return
+	}
+
+	scale, err := harness.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *exp == "all" {
+		if err := harness.RunAll(scale, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	e, ok := reg[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *exp)
+		os.Exit(2)
+	}
+	fmt.Printf("=== %s — %s ===\n", e.ID, e.Title)
+	if err := e.Run(scale, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

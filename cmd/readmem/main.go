@@ -1,0 +1,40 @@
+// Command readmem runs the paper's read-memory micro-benchmark (block
+// sums of 64 contiguous elements) under every programming model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hetbench/internal/apps/appcore"
+	"hetbench/internal/apps/readmem"
+	"hetbench/internal/harness"
+	"hetbench/internal/models/modelapi"
+	"hetbench/internal/sim"
+)
+
+func main() {
+	blocks := flag.Int("blocks", 1<<17, "output blocks (input = blocks × 64 elements)")
+	device := flag.String("device", "both", "apu | dgpu | both")
+	precFlag := flag.String("precision", "double", "single | double")
+	flag.Parse()
+
+	prec, err := harness.ParsePrecision(*precFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	machines, err := harness.Machines(*device)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	p := readmem.NewProblem(readmem.Config{Blocks: *blocks, Precision: prec})
+	err = harness.RunApp(os.Stdout, readmem.AppName, machines,
+		func(m *sim.Machine, model modelapi.Name) appcore.Result { return p.Run(m, model) })
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

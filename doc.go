@@ -1,0 +1,9 @@
+// Package hetbench reproduces "Exploring Parallel Programming Models for
+// Heterogeneous Computing Systems" (Daga, Tschirhart, Freitag; IISWC 2015)
+// as a pure-Go simulation study: a functional+analytic heterogeneous-
+// system simulator (APU and discrete GPU), four programming-model runtimes
+// (OpenCL-, C++ AMP-, OpenACC- and OpenMP-style) over one execution
+// engine, the paper's five workloads, and a harness that regenerates every
+// table and figure. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-versus-measured results.
+package hetbench

@@ -1,0 +1,33 @@
+// Cluster: the full MPI+X stack. The paper studies the X (OpenCL, C++ AMP,
+// OpenACC) on one node and notes that "MPI has been universally chosen in
+// HPC to manage inter-node communication"; this example strong-scales the
+// LULESH Sedov problem across a simulated InfiniBand cluster of R9 280X
+// nodes — slab decomposition, per-step halo exchanges, and a global
+// minimum-dt allreduce.
+package main
+
+import (
+	"fmt"
+
+	"hetbench/internal/apps/lulesh"
+	"hetbench/internal/models/mpix"
+	"hetbench/internal/sim"
+	"hetbench/internal/sim/timing"
+)
+
+func main() {
+	p := lulesh.NewProblem(lulesh.Config{S: 64, Iters: 20, FunctionalIters: 1}, timing.Double)
+	ranks := []int{1, 2, 4, 8, 16}
+	results := p.StrongScaling(ranks, sim.NewDGPU, mpix.DefaultFabric())
+	speedups := lulesh.Speedups(results)
+
+	fmt.Printf("LULESH -s %d, %d steps, MPI+OpenCL over %s\n\n", p.Cfg.S, p.Cfg.Iters, mpix.DefaultFabric().Name)
+	fmt.Printf("%6s  %12s  %8s  %10s  %10s\n", "ranks", "time (ms)", "speedup", "efficiency", "comm share")
+	for i, r := range results {
+		fmt.Printf("%6d  %12.3f  %7.2fx  %9.0f%%  %9.1f%%\n",
+			r.Ranks, r.ElapsedNs/1e6, speedups[i], r.Efficiency(results[0])*100, r.CommFraction()*100)
+	}
+	fmt.Println("\nThe halo surface does not shrink with the slab count, so the")
+	fmt.Println("communication share climbs and strong scaling rolls off — the")
+	fmt.Println("surface-to-volume wall every MPI+X code meets.")
+}

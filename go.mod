@@ -1,0 +1,3 @@
+module hetbench
+
+go 1.22

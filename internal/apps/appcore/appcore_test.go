@@ -1,0 +1,158 @@
+package appcore
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hetbench/internal/models/modelapi"
+	"hetbench/internal/sim/device"
+	"hetbench/internal/sim/timing"
+)
+
+func TestEltBytesAndFlops(t *testing.T) {
+	if EltBytes(timing.Single) != 4 || EltBytes(timing.Double) != 8 {
+		t.Error("EltBytes wrong")
+	}
+	sp, dp := Flops(timing.Single, 10)
+	if sp != 10 || dp != 0 {
+		t.Errorf("Flops single = %g/%g", sp, dp)
+	}
+	sp, dp = Flops(timing.Double, 10)
+	if sp != 0 || dp != 10 {
+		t.Errorf("Flops double = %g/%g", sp, dp)
+	}
+}
+
+func TestTraitsStreaming(t *testing.T) {
+	dev := device.R9280X()
+	// Pure streaming at 8 B: every byte requested reaches DRAM once →
+	// missRate 1, coalesce 1.
+	trace := make([]uint64, 1<<16)
+	for i := range trace {
+		trace[i] = uint64(i * 8)
+	}
+	miss, coal, acc := Traits(dev, trace, 8)
+	if math.Abs(miss-1) > 0.02 || coal != 1 {
+		t.Errorf("streaming traits = %g/%g, want 1/1", miss, coal)
+	}
+	// Per-access miss rate for 8 B accesses on 64 B lines ≈ 1/8.
+	if acc < 0.11 || acc > 0.14 {
+		t.Errorf("per-access miss = %g, want ≈0.125", acc)
+	}
+}
+
+func TestTraitsScatteredGather(t *testing.T) {
+	dev := device.R9280X()
+	// Strided 8 B reads, one per 4 KB page over a region far beyond the
+	// L2: every access fetches a whole line for 8 useful bytes.
+	trace := make([]uint64, 1<<15)
+	for i := range trace {
+		trace[i] = uint64(i) * 4096
+	}
+	miss, coal, acc := Traits(dev, trace, 8)
+	if miss != 1 {
+		t.Errorf("scattered missRate = %g, want 1", miss)
+	}
+	if math.Abs(coal-8.0/64.0) > 0.01 {
+		t.Errorf("scattered coalesce = %g, want 0.125 (8/64)", coal)
+	}
+	if acc < 0.99 {
+		t.Errorf("per-access miss = %g, want ≈1", acc)
+	}
+}
+
+func TestTraitsCacheResident(t *testing.T) {
+	dev := device.R9280X()
+	// A 64 KB working set hammered repeatedly: after warmup everything
+	// hits → low missRate.
+	var trace []uint64
+	for pass := 0; pass < 8; pass++ {
+		for a := uint64(0); a < 64<<10; a += 8 {
+			trace = append(trace, a)
+		}
+	}
+	miss, coal, _ := Traits(dev, trace, 8)
+	if miss > 0.2 {
+		t.Errorf("resident missRate = %g, want small", miss)
+	}
+	if coal != 1 {
+		t.Errorf("coalesce = %g, want 1", coal)
+	}
+}
+
+func TestTraitsDegenerate(t *testing.T) {
+	dev := device.R9280X()
+	if m, c, a := Traits(dev, nil, 8); m != 0 || c != 1 || a != 0 {
+		t.Error("empty trace traits wrong")
+	}
+	if m, c, _ := Traits(dev, []uint64{0}, 0); m != 0 || c != 1 {
+		t.Error("zero access size traits wrong")
+	}
+}
+
+func TestQuickTraitsBounds(t *testing.T) {
+	dev := device.A10_7850K()
+	f := func(seed int64, n uint8) bool {
+		trace := make([]uint64, int(n)+1)
+		s := uint64(seed)
+		for i := range trace {
+			s = s*6364136223846793005 + 1
+			trace[i] = s % (1 << 26)
+		}
+		miss, coal, acc := Traits(dev, trace, 8)
+		return miss >= 0 && miss <= 1 && coal > 0 && coal <= 1 && acc >= 0 && acc <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	base := Result{App: "x", Model: modelapi.OpenMP, ElapsedNs: 100}
+	r := Result{App: "x", Model: modelapi.OpenCL, Machine: "m", ElapsedNs: 25, KernelNs: 20, TransferNs: 5, Checksum: 7}
+	if got := r.SpeedupOver(base); got != 4 {
+		t.Errorf("speedup = %g, want 4", got)
+	}
+	if got := (Result{}).SpeedupOver(base); got != 0 {
+		t.Errorf("degenerate speedup = %g, want 0", got)
+	}
+	s := r.String()
+	for _, want := range []string{"x", "OpenCL", "checksum"} {
+		if !containsFold(s, want) {
+			t.Errorf("Result.String() missing %q: %s", want, s)
+		}
+	}
+}
+
+func containsFold(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		ok := true
+		for j := 0; j < len(sub); j++ {
+			a, b := s[i+j], sub[j]
+			if a >= 'A' && a <= 'Z' {
+				a += 32
+			}
+			if b >= 'A' && b <= 'Z' {
+				b += 32
+			}
+			if a != b {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStreams(t *testing.T) {
+	if got := Streams(device.R9280X()); got != 256 {
+		t.Errorf("Streams(R9 280X) = %d, want 256 (32 CU × 8)", got)
+	}
+	if got := Streams(device.A10_7850K()); got != 64 {
+		t.Errorf("Streams(APU) = %d, want 64", got)
+	}
+}

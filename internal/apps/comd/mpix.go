@@ -1,0 +1,112 @@
+package comd
+
+import (
+	"fmt"
+
+	"hetbench/internal/apps/appcore"
+	"hetbench/internal/models/mpix"
+	"hetbench/internal/sim"
+)
+
+// MPIXResult summarizes a multi-node MPI+OpenCL CoMD run.
+type MPIXResult struct {
+	Ranks             int
+	ElapsedNs         float64
+	ComputeNs, CommNs float64
+	HaloBytes         int64
+}
+
+// RunMPIX strong-scales the molecular-dynamics box across the cluster
+// with a slab decomposition along z (CoMD's actual decomposition is the
+// same idea in 3-D): each rank integrates its atoms with the X-model
+// kernels and exchanges one link-cell layer of atom positions with each
+// face neighbor every step, periodically joining an energy allreduce.
+func (p *Problem) RunMPIX(c *mpix.Cluster) MPIXResult {
+	ranks := c.Size()
+	if p.Cfg.Nz%ranks != 0 && ranks > 1 {
+		panic(fmt.Sprintf("comd: Nz=%d not divisible into %d slabs", p.Cfg.Nz, ranks))
+	}
+
+	// Record the global problem's kernel costs once.
+	rec := sim.NewDGPU()
+	rec.EnableCostLog()
+	fnCfg := p.Cfg
+	fnCfg.Iters, fnCfg.FunctionalIters = 1, 1
+	fn := NewProblem(fnCfg, p.Precision)
+	fn.RunOpenCL(rec)
+	log := rec.CostLog()
+
+	// One iteration of per-rank kernel time at 1/P atoms.
+	iter := sim.NewDGPU()
+	for _, lc := range log {
+		cost := lc.Cost
+		cost.Items = (cost.Items + ranks - 1) / ranks
+		iter.LaunchKernel(lc.Target, lc.Name, cost)
+	}
+	iterNs := iter.KernelNs()
+
+	// Halo: one link-cell layer of atoms per face — positions and ids.
+	elt := int64(appcore.EltBytes(p.Precision))
+	atomsPerLayer := int64(4 * p.Cfg.Nx * p.Cfg.Ny) // ≈ one cell layer at FCC density
+	haloBytes := atomsPerLayer * (3*elt + 4)
+
+	const reduceEvery = 10
+	var compute, comm float64
+	for it := 0; it < p.Cfg.Iters; it++ {
+		before := c.MaxTimeNs()
+		for r := 0; r < ranks; r++ {
+			c.Rank(r).AdvanceNs(iterNs)
+		}
+		mid := c.MaxTimeNs()
+		// Periodic slabs: even/odd phases, wrap-around neighbor.
+		if ranks > 1 {
+			for phase := 0; phase < 2; phase++ {
+				for r := phase; r < ranks; r += 2 {
+					c.Sendrecv(r, (r+1)%ranks, haloBytes)
+				}
+			}
+		}
+		if it%reduceEvery == reduceEvery-1 {
+			c.Allreduce(elt)
+		}
+		after := c.MaxTimeNs()
+		compute += mid - before
+		comm += after - mid
+	}
+
+	return MPIXResult{
+		Ranks:     ranks,
+		ElapsedNs: c.MaxTimeNs(),
+		ComputeNs: compute,
+		CommNs:    comm,
+		HaloBytes: haloBytes,
+	}
+}
+
+// Efficiency returns strong-scaling parallel efficiency against the
+// single-rank reference.
+func (r MPIXResult) Efficiency(single MPIXResult) float64 {
+	if r.ElapsedNs <= 0 || single.ElapsedNs <= 0 {
+		return 0
+	}
+	return single.ElapsedNs / (float64(r.Ranks) * r.ElapsedNs)
+}
+
+// CommFraction returns the communication share of the run.
+func (r MPIXResult) CommFraction() float64 {
+	total := r.ComputeNs + r.CommNs
+	if total <= 0 {
+		return 0
+	}
+	return r.CommNs / total
+}
+
+// StrongScaling runs the problem at each rank count.
+func (p *Problem) StrongScaling(rankCounts []int, newMachine func() *sim.Machine, fabric mpix.Fabric) []MPIXResult {
+	var out []MPIXResult
+	for _, n := range rankCounts {
+		c := mpix.NewCluster(n, newMachine, fabric)
+		out = append(out, p.RunMPIX(c))
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package comd
+
+import (
+	"testing"
+
+	"hetbench/internal/models/mpix"
+	"hetbench/internal/sim"
+	"hetbench/internal/sim/timing"
+)
+
+func TestCoMDStrongScaling(t *testing.T) {
+	// Big enough that the force kernel dominates the per-launch floor;
+	// the cost log comes from a single functional step.
+	p := NewProblem(Config{Nx: 24, Ny: 24, Nz: 24, Iters: 8, FunctionalIters: 1}, timing.Single)
+	results := p.StrongScaling([]int{1, 2, 4, 8}, sim.NewDGPU, mpix.DefaultFabric())
+
+	// Compute-bound with a small halo: CoMD strong-scales better than
+	// LULESH at the same rank counts — efficiency at 8 ranks stays
+	// meaningful and elapsed time keeps dropping.
+	for i := 1; i < len(results); i++ {
+		if results[i].ElapsedNs >= results[i-1].ElapsedNs {
+			t.Errorf("time not dropping: ranks %d → %d gives %.3f → %.3f ms",
+				results[i-1].Ranks, results[i].Ranks,
+				results[i-1].ElapsedNs/1e6, results[i].ElapsedNs/1e6)
+		}
+	}
+	for _, r := range results {
+		if eff := r.Efficiency(results[0]); eff > 1.0001 || eff <= 0 {
+			t.Errorf("ranks=%d: efficiency %.3f out of range", r.Ranks, eff)
+		}
+		if r.CommFraction() < 0 || r.CommFraction() > 1 {
+			t.Errorf("ranks=%d: comm fraction %.3f", r.Ranks, r.CommFraction())
+		}
+	}
+	if results[0].CommFraction() > 0.05 {
+		t.Errorf("1-rank comm fraction = %.3f, want ≈0", results[0].CommFraction())
+	}
+}
+
+func TestCoMDMPIXPanicsOnIndivisibleSlabs(t *testing.T) {
+	p := NewProblem(Config{Nx: 4, Ny: 4, Nz: 5, Iters: 2, FunctionalIters: 1}, timing.Single)
+	defer func() {
+		if recover() == nil {
+			t.Error("indivisible slab count did not panic")
+		}
+	}()
+	p.RunMPIX(mpix.NewCluster(2, sim.NewDGPU, mpix.DefaultFabric()))
+}

@@ -1,0 +1,211 @@
+// Package readmem implements the paper's read-memory micro-benchmark
+// (Section III, Figures 3–6): stream through a buffer summing blocks of 64
+// contiguous elements and write each block's sum to an output buffer. It is
+// the calibration workload — "an apt choice to understand the quality of
+// code generation by the compilers" — and is memory-bandwidth bound.
+//
+// One implementation exists per programming model, each phrased in that
+// model's idiom, all verified against the serial reference.
+package readmem
+
+import (
+	"fmt"
+
+	"hetbench/internal/apps/appcore"
+	"hetbench/internal/models/cppamp"
+	"hetbench/internal/models/modelapi"
+	"hetbench/internal/models/openacc"
+	"hetbench/internal/models/opencl"
+	"hetbench/internal/models/openmp"
+	"hetbench/internal/sim"
+	"hetbench/internal/sim/exec"
+	"hetbench/internal/sim/timing"
+)
+
+// BlockSize is the number of contiguous elements summed per output word
+// ("The block size of 64 is used for our experiments").
+const BlockSize = 64
+
+// AppName identifies the benchmark in results.
+const AppName = "read-benchmark"
+
+// Config sizes one run.
+type Config struct {
+	// Blocks is the number of output elements; the input has
+	// Blocks × BlockSize elements. The paper streams hundreds of MB; the
+	// default harness size is 1<<18 blocks (128 MB in double precision).
+	Blocks    int
+	Precision timing.Precision
+}
+
+// Validate reports unusable configurations.
+func (c Config) Validate() error {
+	if c.Blocks <= 0 {
+		return fmt.Errorf("readmem: Blocks %d must be positive", c.Blocks)
+	}
+	return nil
+}
+
+// Problem is a generated instance.
+type Problem struct {
+	Cfg Config
+	In  []float64
+}
+
+// NewProblem builds a deterministic instance.
+func NewProblem(cfg Config) *Problem {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	in := make([]float64, cfg.Blocks*BlockSize)
+	for i := range in {
+		in[i] = float64(i%17) * 0.25
+	}
+	return &Problem{Cfg: cfg, In: in}
+}
+
+// ReferenceSums computes the expected output serially (Figure 3a).
+func (p *Problem) ReferenceSums() []float64 {
+	out := make([]float64, p.Cfg.Blocks)
+	for i := 0; i < len(p.In); i += BlockSize {
+		sum := 0.0
+		for j := 0; j < BlockSize; j++ {
+			sum += p.In[i+j]
+		}
+		out[i/BlockSize] = sum
+	}
+	return out
+}
+
+// checksum digests an output vector.
+func checksum(out []float64) float64 {
+	s := 0.0
+	for _, v := range out {
+		s += v
+	}
+	return s
+}
+
+// spec builds the kernel spec with traits measured on the machine's
+// accelerator LLC: a pure streaming pass.
+func (p *Problem) spec(m *sim.Machine) modelapi.KernelSpec {
+	elt := int(appcore.EltBytes(p.Cfg.Precision))
+	// Sampled trace: one pass over (a window of) the input.
+	const sample = 1 << 16
+	addrs := make([]uint64, sample)
+	for i := range addrs {
+		addrs[i] = uint64(i * elt)
+	}
+	miss, coal, _ := appcore.Traits(m.Accelerator(), addrs, elt)
+	return modelapi.KernelSpec{Name: "read-blocksum", Class: modelapi.Streaming, MissRate: miss, Coalesce: coal}
+}
+
+// body is the common kernel body: one work item sums one block
+// (Figure 4b). The tally charges BlockSize loads plus one store at the
+// configured precision.
+func (p *Problem) body(out []float64) func(*exec.WorkItem) {
+	elt := appcore.EltBytes(p.Cfg.Precision)
+	sp, dp := appcore.Flops(p.Cfg.Precision, BlockSize)
+	return func(w *exec.WorkItem) {
+		sum := 0.0
+		st := w.Global * BlockSize
+		for j := 0; j < BlockSize; j++ {
+			sum += p.In[st+j]
+		}
+		out[w.Global] = sum
+		w.Tally(exec.Counters{
+			SPFlops: sp, DPFlops: dp,
+			LoadBytes:  elt * BlockSize,
+			StoreBytes: elt,
+			Instrs:     2*BlockSize + 4,
+		})
+	}
+}
+
+func (p *Problem) bytesIn() int64 {
+	return int64(len(p.In)) * int64(appcore.EltBytes(p.Cfg.Precision))
+}
+
+func (p *Problem) bytesOut() int64 {
+	return int64(p.Cfg.Blocks) * int64(appcore.EltBytes(p.Cfg.Precision))
+}
+
+func (p *Problem) result(m *sim.Machine, model modelapi.Name, sum float64) appcore.Result {
+	return appcore.Result{
+		App: AppName, Model: model, Machine: m.Name(), Precision: p.Cfg.Precision,
+		ElapsedNs: m.ElapsedNs(), KernelNs: m.KernelNs(), TransferNs: m.TransferNs(),
+		Checksum: sum, Kernels: 1,
+	}
+}
+
+// RunOpenMP is the Figure 3b port: the serial loop plus one pragma.
+func (p *Problem) RunOpenMP(m *sim.Machine) appcore.Result {
+	m.ResetClock()
+	rt := openmp.New(m)
+	out := make([]float64, p.Cfg.Blocks)
+	rt.ParallelFor(p.spec(m), p.Cfg.Blocks, p.body(out))
+	return p.result(m, modelapi.OpenMP, checksum(out))
+}
+
+// RunOpenCL is the Figure 4 implementation: explicit buffers, staging and
+// an NDRange launch.
+func (p *Problem) RunOpenCL(m *sim.Machine) appcore.Result {
+	m.ResetClock()
+	ctx := opencl.NewContext(m)
+	q := ctx.NewQueue()
+	bufIn := ctx.CreateBuffer("read.in", p.bytesIn())
+	bufOut := ctx.CreateBuffer("read.out", p.bytesOut())
+	q.EnqueueWriteBuffer(bufIn)
+	out := make([]float64, p.Cfg.Blocks)
+	k := ctx.CreateKernel(p.spec(m), p.body(out))
+	q.EnqueueNDRange(k, p.Cfg.Blocks, BlockSize)
+	q.EnqueueReadBuffer(bufOut)
+	q.Finish()
+	return p.result(m, modelapi.OpenCL, checksum(out))
+}
+
+// RunCppAMP is the Figure 6 implementation: array_views and a
+// parallel_for_each over a tiled extent.
+func (p *Problem) RunCppAMP(m *sim.Machine) appcore.Result {
+	m.ResetClock()
+	rt := cppamp.New(m)
+	avIn := rt.NewArrayView("read.in", p.bytesIn())
+	avOut := rt.NewArrayView("read.out", p.bytesOut())
+	out := make([]float64, p.Cfg.Blocks)
+	ext := cppamp.NewExtent(p.Cfg.Blocks)
+	rt.ParallelForEach(p.spec(m), ext, []*cppamp.ArrayView{avIn, avOut}, p.body(out))
+	avOut.Synchronize()
+	return p.result(m, modelapi.CppAMP, checksum(out))
+}
+
+// RunOpenACC is the Figure 5 implementation: a kernels-loop with the
+// paper's exact clauses — `gang(size/BLOCKSIZE) vector(BLOCKSIZE)` — and
+// data movement left to the compiler.
+func (p *Problem) RunOpenACC(m *sim.Machine) appcore.Result {
+	m.ResetClock()
+	rt := openacc.New(m)
+	out := make([]float64, p.Cfg.Blocks)
+	uses := []openacc.Clause{
+		openacc.Copyin("read.in", p.bytesIn()),
+		openacc.Copyout("read.out", p.bytesOut()),
+	}
+	gang := (p.Cfg.Blocks + BlockSize - 1) / BlockSize
+	rt.LoopGV(p.spec(m), p.Cfg.Blocks, gang, BlockSize, uses, p.body(out))
+	return p.result(m, modelapi.OpenACC, checksum(out))
+}
+
+// Run dispatches by model name.
+func (p *Problem) Run(m *sim.Machine, model modelapi.Name) appcore.Result {
+	switch model {
+	case modelapi.OpenMP:
+		return p.RunOpenMP(m)
+	case modelapi.OpenCL:
+		return p.RunOpenCL(m)
+	case modelapi.CppAMP:
+		return p.RunCppAMP(m)
+	case modelapi.OpenACC:
+		return p.RunOpenACC(m)
+	default:
+		panic(fmt.Sprintf("readmem: no implementation for %s", model))
+	}
+}

@@ -1,0 +1,163 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"hetbench/internal/apps/appcore"
+	"hetbench/internal/apps/comd"
+	"hetbench/internal/apps/xsbench"
+	"hetbench/internal/models/modelapi"
+	"hetbench/internal/report"
+	"hetbench/internal/sim"
+	"hetbench/internal/sim/timing"
+)
+
+// HCCell is one row of the Section VII ablation.
+type HCCell struct {
+	App                             string
+	Model                           modelapi.Name
+	ElapsedMs, KernelMs, TransferMs float64
+}
+
+// AblationHCData runs XSBench (one big upfront transfer) and LULESH
+// (iterative, the AMP fallback victim) on the discrete GPU under all four
+// GPU models including HC: the async-overlap model must beat C++ AMP and
+// OpenACC and approach (or beat) OpenCL, because uploads hide behind
+// kernels and no compiler-managed copies ever recur.
+func AblationHCData(scale Scale) []HCCell {
+	w := newWorkloads(scale, timing.Double)
+	var out []HCCell
+	add := func(app string, model modelapi.Name, run func(*sim.Machine) appcore.Result) {
+		m := sim.NewDGPU()
+		r := run(m)
+		out = append(out, HCCell{
+			App: app, Model: model,
+			ElapsedMs: r.ElapsedNs / 1e6, KernelMs: r.KernelNs / 1e6, TransferMs: r.TransferNs / 1e6,
+		})
+	}
+	add("XSBench", modelapi.OpenCL, w.Xsbench.RunOpenCL)
+	add("XSBench", modelapi.CppAMP, w.Xsbench.RunCppAMP)
+	add("XSBench", modelapi.OpenACC, w.Xsbench.RunOpenACC)
+	add("XSBench", modelapi.HC, w.Xsbench.RunHC)
+	add("LULESH", modelapi.OpenCL, w.Lulesh.RunOpenCL)
+	add("LULESH", modelapi.CppAMP, w.Lulesh.RunCppAMP)
+	add("LULESH", modelapi.OpenACC, w.Lulesh.RunOpenACC)
+	add("LULESH", modelapi.HC, w.Lulesh.RunHC)
+	return out
+}
+
+// RunAblationHC renders the Section VII comparison.
+func RunAblationHC(scale Scale, w io.Writer) error {
+	t := report.NewTable("XSBench and LULESH on the R9 280X: HC's async transfers vs the 2015 models",
+		"Application", "Model", "Elapsed ms", "Kernel ms", "Transfer ms (charged)")
+	for _, c := range AblationHCData(scale) {
+		t.AddRowf(c.App, string(c.Model), fmt.Sprintf("%.2f", c.ElapsedMs), fmt.Sprintf("%.2f", c.KernelMs), fmt.Sprintf("%.2f", c.TransferMs))
+	}
+	_, err := t.WriteTo(w)
+	return err
+}
+
+// AblationTilesData returns (flat, tiled) CoMD OpenCL kernel times on the
+// dGPU in ms — the Section VI-C "tiles gave ≈3×" claim. Uses a dedicated
+// instance large enough that the force kernel dominates launch overhead.
+func AblationTilesData(scale Scale) (flatMs, tiledMs float64) {
+	cfg := comd.Config{Nx: 16, Ny: 16, Nz: 16, Iters: 3, FunctionalIters: 1}
+	if scale == ScalePaper {
+		cfg.Nx, cfg.Ny, cfg.Nz = 24, 24, 24
+	}
+	p := comd.NewProblem(cfg, timing.Single)
+	flat := p.RunOpenCLFlat(sim.NewDGPU())
+	tiled := p.RunOpenCL(sim.NewDGPU())
+	return flat.KernelNs / 1e6, tiled.KernelNs / 1e6
+}
+
+// RunAblationTiles renders the tiling ablation.
+func RunAblationTiles(scale Scale, w io.Writer) error {
+	flat, tiled := AblationTilesData(scale)
+	t := report.NewTable("CoMD force kernel on the R9 280X: LDS tiling (Section VI-C, paper: ≈3×)",
+		"Variant", "Kernel ms", "Speedup")
+	t.AddRowf("flat (no tiles)", fmt.Sprintf("%.3f", flat), "1.00")
+	t.AddRowf("tiled (tile_static)", fmt.Sprintf("%.3f", tiled), fmt.Sprintf("%.2f", flat/tiled))
+	_, err := t.WriteTo(w)
+	return err
+}
+
+// GridTypeCell is one row of the XSBench grid-structure ablation.
+type GridTypeCell struct {
+	Grid                            string
+	TableMB                         float64
+	ElapsedMs, KernelMs, TransferMs float64
+}
+
+// AblationGridTypeData compares XSBench's unionized grid (one search,
+// huge table) with the nuclide-grid structure (per-nuclide searches, ~6×
+// smaller table) under OpenCL on the discrete GPU — the memory/compute
+// trade behind the paper's aside that "the next step in the lookup-table
+// size was 5 GB".
+func AblationGridTypeData(scale Scale) []GridTypeCell {
+	base := xsbench.Config{Nuclides: 32, GridPoints: 2048, Lookups: 100_000}
+	if scale == ScaleDefault {
+		base = xsbench.Config{Nuclides: 48, GridPoints: 4096, Lookups: 500_000}
+	}
+	if scale == ScalePaper {
+		base = xsbench.PaperSmall()
+	}
+	var out []GridTypeCell
+	for _, grid := range []xsbench.GridType{xsbench.UnionizedGrid, xsbench.NuclideGridOnly} {
+		cfg := base
+		cfg.Grid = grid
+		p := xsbench.NewProblem(cfg, timing.Double)
+		m := sim.NewDGPU()
+		r := p.RunOpenCL(m)
+		out = append(out, GridTypeCell{
+			Grid:       grid.String(),
+			TableMB:    float64(cfg.TableBytes(timing.Double)) / (1 << 20),
+			ElapsedMs:  r.ElapsedNs / 1e6,
+			KernelMs:   r.KernelNs / 1e6,
+			TransferMs: r.TransferNs / 1e6,
+		})
+	}
+	return out
+}
+
+// RunAblationGridType renders the grid-structure ablation.
+func RunAblationGridType(scale Scale, w io.Writer) error {
+	t := report.NewTable("XSBench grid structures on the R9 280X (OpenCL): memory vs search work",
+		"Grid", "Table MB", "Elapsed ms", "Kernel ms", "Transfer ms")
+	for _, c := range AblationGridTypeData(scale) {
+		t.AddRowf(c.Grid, fmt.Sprintf("%.0f", c.TableMB), fmt.Sprintf("%.2f", c.ElapsedMs),
+			fmt.Sprintf("%.2f", c.KernelMs), fmt.Sprintf("%.2f", c.TransferMs))
+	}
+	_, err := t.WriteTo(w)
+	return err
+}
+
+// AblationDataRegionData returns miniFE OpenACC transfer volumes on the
+// dGPU with and without the hand-placed data region (ms elapsed, MB
+// moved).
+func AblationDataRegionData(scale Scale) (withMs, withoutMs float64, withMB, withoutMB float64) {
+	w := newWorkloads(scale, timing.Double)
+	m1 := sim.NewDGPU()
+	r1 := w.Minife.RunOpenACC(m1)
+	st1 := m1.Link().Stats()
+	m2 := sim.NewDGPU()
+	r2 := w.Minife.RunOpenACCConservative(m2)
+	st2 := m2.Link().Stats()
+	toMB := func(b int64) float64 { return float64(b) / (1 << 20) }
+	return r1.ElapsedNs / 1e6, r2.ElapsedNs / 1e6,
+		toMB(st1.BytesToDevice + st1.BytesFromDevice),
+		toMB(st2.BytesToDevice + st2.BytesFromDevice)
+}
+
+// RunAblationDataRegion renders the data-directive ablation.
+func RunAblationDataRegion(scale Scale, w io.Writer) error {
+	withMs, withoutMs, withMB, withoutMB := AblationDataRegionData(scale)
+	t := report.NewTable("miniFE OpenACC on the R9 280X: the `data` directive (Section III-B)",
+		"Variant", "Elapsed ms", "PCIe traffic MB")
+	t.AddRowf("with data region", fmt.Sprintf("%.2f", withMs), fmt.Sprintf("%.1f", withMB))
+	t.AddRowf("per-region copies", fmt.Sprintf("%.2f", withoutMs), fmt.Sprintf("%.1f", withoutMB))
+	t.AddRowf("penalty", fmt.Sprintf("%.2fx", withoutMs/withMs), fmt.Sprintf("%.1fx", withoutMB/withMB))
+	_, err := t.WriteTo(w)
+	return err
+}

@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"hetbench/internal/apps/appcore"
+	"hetbench/internal/models/modelapi"
+	"hetbench/internal/report"
+	"hetbench/internal/sim"
+	"hetbench/internal/sim/timing"
+)
+
+// Machines parses a -device flag value into machine constructors.
+func Machines(device string) ([]func() *sim.Machine, error) {
+	switch device {
+	case "apu":
+		return []func() *sim.Machine{sim.NewAPU}, nil
+	case "dgpu":
+		return []func() *sim.Machine{sim.NewDGPU}, nil
+	case "both", "":
+		return []func() *sim.Machine{sim.NewAPU, sim.NewDGPU}, nil
+	default:
+		return nil, fmt.Errorf("unknown device %q (apu|dgpu|both)", device)
+	}
+}
+
+// ParsePrecision parses a -precision flag value.
+func ParsePrecision(s string) (timing.Precision, error) {
+	switch s {
+	case "single", "sp":
+		return timing.Single, nil
+	case "double", "dp", "":
+		return timing.Double, nil
+	default:
+		return 0, fmt.Errorf("unknown precision %q (single|double)", s)
+	}
+}
+
+// RunApp runs one app under OpenMP + the three GPU models on each machine
+// and prints a per-model comparison table — the shared body of the
+// per-application command-line tools.
+func RunApp(w io.Writer, appName string, machines []func() *sim.Machine,
+	run func(m *sim.Machine, model modelapi.Name) appcore.Result) error {
+
+	for _, mk := range machines {
+		base := run(sim.NewAPU(), modelapi.OpenMP)
+		machine := mk()
+		t := report.NewTable(
+			fmt.Sprintf("%s on %s (baseline: 4-core OpenMP, %.3f ms)", appName, machine.Name(), base.ElapsedNs/1e6),
+			"Model", "Elapsed ms", "Kernel ms", "Transfer ms", "Speedup", "Checksum")
+		t.AddRowf("OpenMP", fmt.Sprintf("%.3f", base.ElapsedNs/1e6),
+			fmt.Sprintf("%.3f", base.KernelNs/1e6), "0.000", "1.00", fmt.Sprintf("%g", base.Checksum))
+		for _, model := range modelapi.All() {
+			r := run(mk(), model)
+			t.AddRowf(string(model),
+				fmt.Sprintf("%.3f", r.ElapsedNs/1e6),
+				fmt.Sprintf("%.3f", r.KernelNs/1e6),
+				fmt.Sprintf("%.3f", r.TransferNs/1e6),
+				fmt.Sprintf("%.2f", r.SpeedupOver(base)),
+				fmt.Sprintf("%g", r.Checksum))
+		}
+		if _, err := t.WriteTo(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

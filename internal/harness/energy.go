@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"hetbench/internal/models/modelapi"
+	"hetbench/internal/report"
+	"hetbench/internal/sim"
+	"hetbench/internal/sim/power"
+	"hetbench/internal/sim/timing"
+)
+
+// EnergyRow is one (app, device) energy-to-solution measurement.
+type EnergyRow struct {
+	App     string
+	Machine string
+	TimeMs  float64
+	EnergyJ float64
+	AvgW    float64
+}
+
+// EnergyData runs every app under OpenCL on both machines and integrates
+// device energy over the simulated activity: idle power across the whole
+// run, dynamic power during kernels, DRAM energy per filtered byte, and
+// PCIe energy per transferred byte. This is the extension behind the
+// paper's opening motivation — heterogeneous devices exist to maximize
+// performance under power budgets — answering which device wins on
+// energy-to-solution, not just time.
+func EnergyData(scale Scale) []EnergyRow {
+	w := newWorkloads(scale, timing.Double)
+	var out []EnergyRow
+	for _, r := range w.runners() {
+		for _, mk := range []func() *sim.Machine{sim.NewAPU, sim.NewDGPU} {
+			m := mk()
+			m.EnableCostLog()
+			res := r.run(m, modelapi.OpenCL)
+
+			dev := m.Accelerator()
+			prof := power.ProfileFor(dev)
+			model := timing.NewModel(dev)
+
+			// Replay kernel costs for busy time and DRAM traffic.
+			var busyNs, dramBytes float64
+			for _, lc := range m.CostLog() {
+				if lc.Target != sim.OnAccelerator {
+					continue
+				}
+				kr := model.Kernel(lc.Cost)
+				busyNs += kr.TimeNs
+				dramBytes += kr.DRAMBytes
+			}
+			energy := prof.KernelEnergyJ(busyNs, dev.CoreClockMHz, dev.CoreClockMHz, dramBytes)
+			// Idle power while not computing (transfers, host phases).
+			idleNs := res.ElapsedNs - busyNs
+			if idleNs > 0 {
+				energy += prof.IdleW * idleNs / 1e9
+			}
+			if !m.Unified() {
+				st := m.Link().Stats()
+				energy += power.TransferEnergyJ(st.BytesToDevice + st.BytesFromDevice)
+			}
+			avgW := 0.0
+			if res.ElapsedNs > 0 {
+				avgW = energy / (res.ElapsedNs / 1e9)
+			}
+			out = append(out, EnergyRow{
+				App: r.name, Machine: m.Name(),
+				TimeMs: res.ElapsedNs / 1e6, EnergyJ: energy, AvgW: avgW,
+			})
+		}
+	}
+	return out
+}
+
+// RunEnergy renders the energy comparison.
+func RunEnergy(scale Scale, w io.Writer) error {
+	rows := EnergyData(scale)
+	t := report.NewTable("Energy to solution under OpenCL (device power only, DP)",
+		"Application", "Device", "Time ms", "Energy J", "Avg W")
+	for _, r := range rows {
+		t.AddRowf(r.App, r.Machine,
+			fmt.Sprintf("%.2f", r.TimeMs), fmt.Sprintf("%.3f", r.EnergyJ), fmt.Sprintf("%.0f", r.AvgW))
+	}
+	if _, err := t.WriteTo(w); err != nil {
+		return err
+	}
+	// Per-app winner summary.
+	t2 := report.NewTable("\nEnergy winner per application", "Application", "Winner", "Energy ratio (dGPU/APU)")
+	for i := 0; i+1 < len(rows); i += 2 {
+		apu, dgpu := rows[i], rows[i+1]
+		winner := "APU"
+		if dgpu.EnergyJ < apu.EnergyJ {
+			winner = "dGPU"
+		}
+		t2.AddRowf(apu.App, winner, fmt.Sprintf("%.2f", dgpu.EnergyJ/apu.EnergyJ))
+	}
+	_, err := t2.WriteTo(w)
+	return err
+}

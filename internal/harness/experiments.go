@@ -1,0 +1,220 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"hetbench/internal/apps/appcore"
+	"hetbench/internal/apps/comd"
+	"hetbench/internal/apps/lulesh"
+	"hetbench/internal/apps/minife"
+	"hetbench/internal/apps/xsbench"
+	"hetbench/internal/models/modelapi"
+	"hetbench/internal/report"
+	"hetbench/internal/sim"
+	"hetbench/internal/sim/device"
+	"hetbench/internal/sim/timing"
+	"hetbench/internal/sloc"
+)
+
+// runner adapts one app to a uniform (machine, model) → result call.
+type runner struct {
+	name string
+	run  func(m *sim.Machine, model modelapi.Name) appcore.Result
+	// kernelOnly marks apps the paper compares by kernel time (the
+	// read-benchmark: "data-transfer times, if any, were left out").
+	kernelOnly bool
+	// missRate measures the app's per-access LLC miss rate on a machine.
+	missRate func(m *sim.Machine) float64
+	kernels  int
+}
+
+func (w *workloads) runners() []runner {
+	return []runner{
+		{
+			name:       "read-benchmark",
+			run:        func(m *sim.Machine, md modelapi.Name) appcore.Result { return w.Readmem.Run(m, md) },
+			kernelOnly: true,
+			missRate: func(m *sim.Machine) float64 {
+				// Streaming: per-access miss is elt/line by construction.
+				return appcore.EltBytes(w.Readmem.Cfg.Precision) / float64(m.Accelerator().CacheLineBytes)
+			},
+			kernels: 1,
+		},
+		{
+			name:     "LULESH",
+			run:      func(m *sim.Machine, md modelapi.Name) appcore.Result { return w.Lulesh.Run(m, md) },
+			missRate: func(m *sim.Machine) float64 { return w.Lulesh.MeasuredTraits(m) },
+			kernels:  28,
+		},
+		{
+			name:     "CoMD",
+			run:      func(m *sim.Machine, md modelapi.Name) appcore.Result { return w.Comd.Run(m, md) },
+			missRate: func(m *sim.Machine) float64 { return comdMiss(w, m) },
+			kernels:  3,
+		},
+		{
+			name:     "XSBench",
+			run:      func(m *sim.Machine, md modelapi.Name) appcore.Result { return w.Xsbench.Run(m, md) },
+			missRate: func(m *sim.Machine) float64 { return w.Xsbench.MeasuredMissRate(m) },
+			kernels:  1,
+		},
+		{
+			name:     "miniFE",
+			run:      func(m *sim.Machine, md modelapi.Name) appcore.Result { return w.Minife.Run(m, md).Result },
+			missRate: func(m *sim.Machine) float64 { return w.Minife.MeasuredMissRate(m) },
+			kernels:  3,
+		},
+	}
+}
+
+func comdMiss(w *workloads, m *sim.Machine) float64 {
+	s := comd.NewState(w.Comd.Cfg)
+	return s.MeasuredMissRate(m, w.Comd.Precision)
+}
+
+// ---------------------------------------------------------------------
+// Table I.
+
+// Table1Row is one measured characterization row.
+type Table1Row struct {
+	App         string
+	MissRate    float64
+	IPC         float64
+	Kernels     int
+	Boundedness string
+}
+
+// Table1Data measures the characterization on the simulated R9 280X
+// running the hand-tuned OpenCL implementations (the paper's setup).
+// LLC miss rates use fixed characterization instances whose footprints
+// exceed the 768 KB L2 regardless of the timing-run scale, because a
+// cache-resident toy instance would report vacuous 0% rates.
+func Table1Data(scale Scale) []Table1Row {
+	w := newWorkloads(scale, timing.Double)
+	char := characterizationMissRates()
+	var rows []Table1Row
+	for _, r := range w.runners() {
+		if r.name == "read-benchmark" {
+			continue // Table I lists only the four proxy applications
+		}
+		m := sim.NewDGPU()
+		res := r.run(m, modelapi.OpenCL)
+		rows = append(rows, Table1Row{
+			App:         r.name,
+			MissRate:    char[r.name],
+			IPC:         m.IPC(),
+			Kernels:     res.Kernels,
+			Boundedness: m.Boundedness(),
+		})
+	}
+	return rows
+}
+
+// characterizationMissRates measures per-access LLC miss rates on
+// paper-representative footprints (trace replay only — no timing runs).
+func characterizationMissRates() map[string]float64 {
+	m := sim.NewDGPU()
+	out := map[string]float64{}
+	out["LULESH"] = lulesh.NewProblem(lulesh.Config{S: 48, Iters: 1}, timing.Double).MeasuredTraits(m)
+	out["CoMD"] = comd.NewState(comd.Config{Nx: 24, Ny: 24, Nz: 24, Iters: 1}).MeasuredMissRate(m, timing.Double)
+	out["XSBench"] = xsbench.NewProblem(xsbench.Config{Nuclides: 32, GridPoints: 4096, Lookups: 1}, timing.Double).MeasuredMissRate(m)
+	out["miniFE"] = minife.NewProblem(minife.Config{Nx: 40, Ny: 40, Nz: 40, MaxIters: 1}, timing.Double).MeasuredMissRate(m)
+	return out
+}
+
+// RunTable1 renders Table I.
+func RunTable1(scale Scale, w io.Writer) error {
+	t := report.NewTable("", "Application", "LLC Miss Rate", "IPC", "Kernels", "Boundedness", "Paper (miss/IPC/bound)")
+	paper := map[string]string{
+		"LULESH":  "11% / 0.65 / Balanced",
+		"CoMD":    "26% / 0.69 / Compute",
+		"XSBench": "53% / 0.14 / Compute",
+		"miniFE":  "39% / 0.88 / Memory",
+	}
+	for _, r := range Table1Data(scale) {
+		t.AddRowf(r.App, fmt.Sprintf("%.0f%%", r.MissRate*100), r.IPC, r.Kernels, r.Boundedness, paper[r.App])
+	}
+	_, err := t.WriteTo(w)
+	return err
+}
+
+// RunTable2 renders the hardware catalog (Table II).
+func RunTable2(_ Scale, w io.Writer) error {
+	dgpu, apu, cpu := device.R9280X(), device.A10_7850K(), device.HostCPU()
+	t := report.NewTable("", "Name", "AMD Radeon R9 280X", "AMD A10-7850K (GPU)", "Host CPU")
+	row := func(label string, f func(*device.Device) string) {
+		t.AddRow(label, f(dgpu), f(apu), f(cpu))
+	}
+	row("Stream Processors", func(d *device.Device) string { return fmt.Sprintf("%d", d.TotalLanes()) })
+	row("Compute Units", func(d *device.Device) string { return fmt.Sprintf("%d", d.ComputeUnits) })
+	row("Core Clock (MHz)", func(d *device.Device) string { return fmt.Sprintf("%d", d.CoreClockMHz) })
+	row("Memory Bus", func(d *device.Device) string { return d.MemKind.String() })
+	row("Peak Bandwidth (GB/s)", func(d *device.Device) string { return fmt.Sprintf("%.0f", d.PeakBandwidthGBs) })
+	row("Peak SP (GFLOPS)", func(d *device.Device) string { return fmt.Sprintf("%.0f", d.PeakSPGflops()) })
+	row("Peak DP (GFLOPS)", func(d *device.Device) string { return fmt.Sprintf("%.0f", d.PeakDPGflops()) })
+	row("Local Memory (KB/CU)", func(d *device.Device) string { return fmt.Sprintf("%d", d.LDSPerCUBytes>>10) })
+	row("Unified Memory", func(d *device.Device) string {
+		if d.UnifiedMemory {
+			return "yes"
+		}
+		return "no"
+	})
+	_, err := t.WriteTo(w)
+	return err
+}
+
+// RunTable3 renders the compiler table (Table III).
+func RunTable3(_ Scale, w io.Writer) error {
+	t := report.NewTable("", "Programming Model", "Compiler", "Transfer Strategy")
+	for _, n := range []modelapi.Name{modelapi.OpenCL, modelapi.CppAMP, modelapi.OpenACC} {
+		p := modelapi.ProfileFor(n)
+		t.AddRow(string(n), p.Compiler, p.Strategy.String())
+	}
+	_, err := t.WriteTo(w)
+	return err
+}
+
+// RunTable4 renders the paper's SLOC table plus this repository's own
+// counted per-app implementation sizes (methodology demonstration).
+func RunTable4(_ Scale, w io.Writer) error {
+	t := report.NewTable("Paper-measured lines changed from serial (SLOCCount)",
+		"Application", "OpenMP", "OpenCL", "C++ AMP", "OpenACC")
+	for _, r := range sloc.Table4() {
+		t.AddRowf(r.App, r.OpenMP, r.OpenCL, r.CppAMP, r.OpenACC)
+	}
+	if _, err := t.WriteTo(w); err != nil {
+		return err
+	}
+
+	t2 := report.NewTable("\nThis repository's implementations (logical Go SLOC per app package)",
+		"Package", "SLOC", "Files")
+	for _, dir := range []string{"readmem", "lulesh", "comd", "xsbench", "minife"} {
+		total, files, err := sloc.CountDir("internal/apps/"+dir, ".go")
+		if err != nil {
+			// Running outside the repo root: report and continue.
+			t2.AddRow(dir, "n/a", "n/a")
+			continue
+		}
+		t2.AddRowf(dir, total, len(files))
+	}
+	_, err := t2.WriteTo(w)
+	return err
+}
+
+// RunFig11 renders the optimization-feature matrix.
+func RunFig11(_ Scale, w io.Writer) error {
+	t := report.NewTable("", "Model", "Vectorization", "Local Data Store", "Fine-grained Sync", "Explicit Unroll", "Reducing Code Motion")
+	mark := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	for _, row := range modelapi.FeatureMatrix() {
+		t.AddRow(string(row.Model), mark(row.Vectorization), mark(row.LocalDataStore),
+			mark(row.FineGrainedSync), mark(row.ExplicitUnroll), mark(row.ReduceCodeMotion))
+	}
+	_, err := t.WriteTo(w)
+	return err
+}

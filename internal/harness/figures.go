@@ -1,0 +1,287 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"hetbench/internal/apps/comd"
+	"hetbench/internal/models/modelapi"
+	"hetbench/internal/report"
+	"hetbench/internal/sim"
+	"hetbench/internal/sim/timing"
+	"hetbench/internal/sloc"
+)
+
+// Figure 7 sweep points (the paper's axes).
+var (
+	fig7CoreMHz = []int{200, 300, 400, 500, 600, 700, 800, 900, 1000}
+	fig7MemMHz  = []int{480, 590, 700, 810, 920, 1030, 1140, 1250}
+)
+
+// fig7Workloads builds the sweep instances: few iterations (only relative
+// kernel time matters) but large enough bodies that launch overhead does
+// not flatten the curves.
+func fig7Workloads(scale Scale) *workloads {
+	w := newWorkloads(scale, timing.Single)
+	w.Lulesh.Cfg.Iters, w.Lulesh.Cfg.FunctionalIters = 2, 1
+	w.Comd.Cfg = comdFig7Cfg(scale)
+	w.Minife.Cfg.MaxIters, w.Minife.Cfg.FunctionalIters = 5, 1
+	return w
+}
+
+func comdFig7Cfg(scale Scale) comd.Config {
+	c := comd.Config{Nx: 16, Ny: 16, Nz: 16, Iters: 2, FunctionalIters: 1}
+	if scale == ScalePaper {
+		c.Nx, c.Ny, c.Nz = 24, 24, 24
+	}
+	return c
+}
+
+// Fig7Data sweeps one app over the frequency grid and returns one series
+// per memory frequency, x = core MHz, y = performance normalized to the
+// (200 MHz, 480 MHz) corner. Performance is kernel-rate (the paper holds
+// the PCIe path constant across the sweep). The app executes functionally
+// once to record its launch-cost log, which is then replayed against each
+// clock pair — kernel costs do not depend on clocks, only their times do.
+func Fig7Data(scale Scale, app string) ([]*report.Series, error) {
+	w := fig7Workloads(scale)
+	var target *runner
+	for _, r := range w.runners() {
+		if r.name == app {
+			rr := r
+			target = &rr
+			break
+		}
+	}
+	if target == nil {
+		return nil, fmt.Errorf("harness: fig7: unknown app %q", app)
+	}
+
+	rec := sim.NewDGPU()
+	rec.EnableCostLog()
+	target.run(rec, modelapi.OpenCL)
+	log := rec.CostLog()
+
+	timeAt := func(core, mem int) float64 {
+		m := sim.NewDGPU()
+		m.AcceleratorModel().SetCoreClock(core)
+		m.AcceleratorModel().SetMemClock(mem)
+		for _, lc := range log {
+			m.LaunchKernel(lc.Target, lc.Name, lc.Cost)
+		}
+		return m.KernelNs()
+	}
+
+	base := timeAt(fig7CoreMHz[0], fig7MemMHz[0])
+	var out []*report.Series
+	for _, mem := range fig7MemMHz {
+		s := &report.Series{Name: fmt.Sprintf("%d MHz", mem)}
+		for _, core := range fig7CoreMHz {
+			s.X = append(s.X, float64(core))
+			s.Y = append(s.Y, base/timeAt(core, mem))
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// RunFig7 renders all five sub-figures.
+func RunFig7(scale Scale, w io.Writer) error {
+	for _, app := range AppNames {
+		series, err := Fig7Data(scale, app)
+		if err != nil {
+			return err
+		}
+		fig := &report.Figure{
+			Title:  fmt.Sprintf("Figure 7 (%s): normalized performance, series = memory frequency", app),
+			XLabel: "core MHz",
+			YLabel: "perf / perf(200 MHz core, 480 MHz mem)",
+			Series: series,
+		}
+		if _, err := fig.WriteTo(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Figures 8 and 9.
+
+// SpeedupCell is one bar of Figures 8/9.
+type SpeedupCell struct {
+	App       string
+	Model     modelapi.Name
+	Precision timing.Precision
+	Speedup   float64
+	// Time splits of the model run (ms), for drill-down.
+	KernelMs, TransferMs float64
+}
+
+// SpeedupData runs 3 models × {SP, DP} × 5 apps against the OpenMP
+// baseline on the given machine constructor (Figure 8: sim.NewAPU,
+// Figure 9: sim.NewDGPU).
+func SpeedupData(scale Scale, newMachine func() *sim.Machine) []SpeedupCell {
+	var out []SpeedupCell
+	for _, prec := range []timing.Precision{timing.Single, timing.Double} {
+		w := newWorkloads(scale, prec)
+		for _, r := range w.runners() {
+			base := r.run(sim.NewAPU(), modelapi.OpenMP)
+			baseT := base.ElapsedNs
+			if r.kernelOnly {
+				baseT = base.KernelNs
+			}
+			for _, model := range modelapi.All() {
+				res := r.run(newMachine(), model)
+				t := res.ElapsedNs
+				if r.kernelOnly {
+					t = res.KernelNs
+				}
+				sp := 0.0
+				if t > 0 {
+					sp = baseT / t
+				}
+				out = append(out, SpeedupCell{
+					App: r.name, Model: model, Precision: prec, Speedup: sp,
+					KernelMs: res.KernelNs / 1e6, TransferMs: res.TransferNs / 1e6,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func renderSpeedups(title string, cells []SpeedupCell, w io.Writer) error {
+	t := report.NewTable(title, "Application", "Model", "SP speedup", "DP speedup", "DP kernel ms", "DP transfer ms")
+	type key struct {
+		app   string
+		model modelapi.Name
+	}
+	sp := map[key]SpeedupCell{}
+	dp := map[key]SpeedupCell{}
+	for _, c := range cells {
+		k := key{c.App, c.Model}
+		if c.Precision == timing.Single {
+			sp[k] = c
+		} else {
+			dp[k] = c
+		}
+	}
+	for _, app := range AppNames {
+		for _, model := range modelapi.All() {
+			k := key{app, model}
+			t.AddRowf(app, string(model),
+				fmt.Sprintf("%.2f", sp[k].Speedup),
+				fmt.Sprintf("%.2f", dp[k].Speedup),
+				fmt.Sprintf("%.3f", dp[k].KernelMs),
+				fmt.Sprintf("%.3f", dp[k].TransferMs))
+		}
+	}
+	_, err := t.WriteTo(w)
+	return err
+}
+
+// RunFig8 renders the APU speedups.
+func RunFig8(scale Scale, w io.Writer) error {
+	return renderSpeedups("Speedup vs 4-core OpenMP on the A10-7850K APU (read-benchmark: kernel time only)",
+		SpeedupData(scale, sim.NewAPU), w)
+}
+
+// RunFig9 renders the discrete-GPU speedups.
+func RunFig9(scale Scale, w io.Writer) error {
+	return renderSpeedups("Speedup vs 4-core OpenMP on the R9 280X discrete GPU (read-benchmark: kernel time only)",
+		SpeedupData(scale, sim.NewDGPU), w)
+}
+
+// ---------------------------------------------------------------------
+// Figure 10.
+
+// ProductivityRow is one app's Eq. 1 productivity per model.
+type ProductivityRow struct {
+	App                     string
+	OpenCL, CppAMP, OpenACC float64
+}
+
+// ProductivityData computes Figure 10 for one machine: Eq. 1 with
+// double-precision runtimes and the paper's Table IV line counts.
+func ProductivityData(scale Scale, newMachine func() *sim.Machine) []ProductivityRow {
+	w := newWorkloads(scale, timing.Double)
+	lines := map[string]sloc.Table4Row{}
+	for _, r := range sloc.Table4() {
+		lines[r.App] = r
+	}
+	var out []ProductivityRow
+	for _, r := range w.runners() {
+		base := r.run(sim.NewAPU(), modelapi.OpenMP)
+		baseT := base.ElapsedNs
+		if r.kernelOnly {
+			baseT = base.KernelNs
+		}
+		l := lines[r.name]
+		row := ProductivityRow{App: r.name}
+		for _, model := range modelapi.All() {
+			res := r.run(newMachine(), model)
+			t := res.ElapsedNs
+			if r.kernelOnly {
+				t = res.KernelNs
+			}
+			var ml int
+			switch model {
+			case modelapi.OpenCL:
+				ml = l.OpenCL
+			case modelapi.CppAMP:
+				ml = l.CppAMP
+			case modelapi.OpenACC:
+				ml = l.OpenACC
+			}
+			p := sloc.Productivity(baseT, t, ml, l.OpenMP)
+			switch model {
+			case modelapi.OpenCL:
+				row.OpenCL = p
+			case modelapi.CppAMP:
+				row.CppAMP = p
+			case modelapi.OpenACC:
+				row.OpenACC = p
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// HarmonicMeans returns the per-model harmonic means of a productivity
+// table (the paper's "Har. Mean" bars).
+func HarmonicMeans(rows []ProductivityRow) (cl, amp, acc float64) {
+	var a, b, c []float64
+	for _, r := range rows {
+		a = append(a, r.OpenCL)
+		b = append(b, r.CppAMP)
+		c = append(c, r.OpenACC)
+	}
+	return sloc.HarmonicMean(a), sloc.HarmonicMean(b), sloc.HarmonicMean(c)
+}
+
+// RunFig10 renders productivity on both machines.
+func RunFig10(scale Scale, w io.Writer) error {
+	for _, sub := range []struct {
+		title string
+		mk    func() *sim.Machine
+	}{
+		{"Figure 10a: productivity on the A10-7850K APU (Eq. 1, double precision)", sim.NewAPU},
+		{"Figure 10b: productivity on the R9 280X discrete GPU (Eq. 1, double precision)", sim.NewDGPU},
+	} {
+		rows := ProductivityData(scale, sub.mk)
+		t := report.NewTable(sub.title, "Application", "OpenCL", "C++ AMP", "OpenACC")
+		for _, r := range rows {
+			t.AddRowf(r.App, fmt.Sprintf("%.2f", r.OpenCL), fmt.Sprintf("%.2f", r.CppAMP), fmt.Sprintf("%.2f", r.OpenACC))
+		}
+		cl, amp, acc := HarmonicMeans(rows)
+		t.AddRowf("Har. Mean", fmt.Sprintf("%.2f", cl), fmt.Sprintf("%.2f", amp), fmt.Sprintf("%.2f", acc))
+		if _, err := t.WriteTo(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

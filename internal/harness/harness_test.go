@@ -1,0 +1,426 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hetbench/internal/apps/appcore"
+	"hetbench/internal/models/modelapi"
+	"hetbench/internal/sim"
+	"hetbench/internal/sim/timing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	want := []string{"table1", "table2", "table3", "table4", "fig7", "fig8", "fig9", "fig10", "fig11", "hc", "tiles", "dataregion", "gridtype", "scaling", "profile", "roofline", "energy"}
+	for _, id := range want {
+		e, ok := reg[id]
+		if !ok {
+			t.Fatalf("experiment %q missing", id)
+		}
+		if e.Run == nil || e.Title == "" || e.Description == "" {
+			t.Errorf("experiment %q incomplete", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(IDs()), len(want))
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for s, want := range map[string]Scale{"small": ScaleSmall, "default": ScaleDefault, "": ScaleDefault, "paper": ScalePaper} {
+		got, err := ParseScale(s)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+// Table I: kernel counts must match the paper exactly; miss-rate ordering
+// must hold (XSBench worst, LULESH best); boundedness classes must match.
+func TestTable1Shapes(t *testing.T) {
+	rows := Table1Data(ScaleSmall)
+	if len(rows) != 4 {
+		t.Fatalf("Table I rows = %d, want 4", len(rows))
+	}
+	byApp := map[string]Table1Row{}
+	for _, r := range rows {
+		byApp[r.App] = r
+	}
+	if byApp["LULESH"].Kernels != 28 || byApp["CoMD"].Kernels != 3 || byApp["XSBench"].Kernels != 1 || byApp["miniFE"].Kernels != 3 {
+		t.Errorf("kernel counts wrong: %+v", rows)
+	}
+	if !(byApp["XSBench"].MissRate > byApp["CoMD"].MissRate && byApp["CoMD"].MissRate > byApp["LULESH"].MissRate) {
+		t.Errorf("miss-rate ordering violated: XSBench %.2f, CoMD %.2f, LULESH %.2f",
+			byApp["XSBench"].MissRate, byApp["CoMD"].MissRate, byApp["LULESH"].MissRate)
+	}
+	if byApp["miniFE"].Boundedness != "Memory" {
+		t.Errorf("miniFE boundedness = %s, want Memory", byApp["miniFE"].Boundedness)
+	}
+	if byApp["CoMD"].Boundedness != "Compute" {
+		t.Errorf("CoMD boundedness = %s, want Compute", byApp["CoMD"].Boundedness)
+	}
+	// XSBench has the lowest IPC (Table I: 0.14).
+	for _, app := range []string{"LULESH", "CoMD", "miniFE"} {
+		if byApp["XSBench"].IPC >= byApp[app].IPC {
+			t.Errorf("XSBench IPC %.3f not below %s's %.3f", byApp["XSBench"].IPC, app, byApp[app].IPC)
+		}
+	}
+}
+
+// Figure 7 shapes at the extremes of the grid.
+func TestFig7Shapes(t *testing.T) {
+	get := func(app string) []float64 {
+		series, err := Fig7Data(ScaleSmall, app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Return [lowMem@lowCore, lowMem@highCore, highMem@lowCore, highMem@highCore].
+		lo, hi := series[0], series[len(series)-1]
+		return []float64{lo.Y[0], lo.Y[len(lo.Y)-1], hi.Y[0], hi.Y[len(hi.Y)-1]}
+	}
+
+	// read-benchmark: memory-bound — at high core clock, raising memory
+	// frequency is the big lever; at 200 MHz core it is nearly flat.
+	rb := get("read-benchmark")
+	if rb[3]/rb[1] < 1.5 {
+		t.Errorf("read-benchmark: mem 480→1250 at 1000 MHz core = %.2f×, want ≥1.5", rb[3]/rb[1])
+	}
+	if rb[2]/rb[0] > 1.4 {
+		t.Errorf("read-benchmark: mem sweep at 200 MHz core = %.2f×, want ≈flat", rb[2]/rb[0])
+	}
+
+	// CoMD: compute-bound — core scaling strong, memory scaling ≈nil.
+	cm := get("CoMD")
+	if cm[1]/cm[0] < 2 {
+		t.Errorf("CoMD: core 200→1000 = %.2f×, want ≥2", cm[1]/cm[0])
+	}
+	if cm[3]/cm[1] > 1.2 {
+		t.Errorf("CoMD: mem sweep at full core = %.2f×, want ≈flat", cm[3]/cm[1])
+	}
+
+	// XSBench: compute/latency-bound — scales with core.
+	xs := get("XSBench")
+	if xs[1]/xs[0] < 1.5 {
+		t.Errorf("XSBench: core scaling = %.2f×, want ≥1.5", xs[1]/xs[0])
+	}
+
+	// LULESH: balanced — both axes matter.
+	lu := get("LULESH")
+	if lu[1]/lu[0] < 1.3 {
+		t.Errorf("LULESH: core scaling = %.2f×, want >1.3 (balanced)", lu[1]/lu[0])
+	}
+	if lu[3]/lu[1] < 1.1 {
+		t.Errorf("LULESH: mem scaling at full core = %.2f×, want >1.1 (balanced)", lu[3]/lu[1])
+	}
+
+	// miniFE: memory-bound at high core clocks.
+	mf := get("miniFE")
+	if mf[3]/mf[1] < 1.3 {
+		t.Errorf("miniFE: mem scaling at full core = %.2f×, want ≥1.3", mf[3]/mf[1])
+	}
+}
+
+// Figures 8/9 headline orderings.
+func TestSpeedupShapes(t *testing.T) {
+	apu := SpeedupData(ScaleSmall, sim.NewAPU)
+	dgpu := SpeedupData(ScaleSmall, sim.NewDGPU)
+
+	find := func(cells []SpeedupCell, app string, model modelapi.Name, prec timing.Precision) SpeedupCell {
+		for _, c := range cells {
+			if c.App == app && c.Model == model && c.Precision == prec {
+				return c
+			}
+		}
+		t.Fatalf("cell %s/%s/%v missing", app, model, prec)
+		return SpeedupCell{}
+	}
+
+	// Every dGPU OpenCL SP speedup ≥ its APU counterpart for the
+	// compute-bound app (CoMD) — performance portability upward.
+	if d, a := find(dgpu, "CoMD", modelapi.OpenCL, timing.Single), find(apu, "CoMD", modelapi.OpenCL, timing.Single); d.Speedup <= a.Speedup {
+		t.Errorf("CoMD OpenCL: dGPU %.1f not above APU %.1f", d.Speedup, a.Speedup)
+	}
+	// dGPU: OpenCL best on every app (DP).
+	for _, app := range AppNames {
+		cl := find(dgpu, app, modelapi.OpenCL, timing.Double).Speedup
+		for _, model := range []modelapi.Name{modelapi.CppAMP, modelapi.OpenACC} {
+			if s := find(dgpu, app, model, timing.Double).Speedup; s > cl {
+				t.Errorf("dGPU %s: %s %.2f beats OpenCL %.2f", app, model, s, cl)
+			}
+		}
+	}
+	// APU: C++ AMP wins XSBench (the paper's HSA observation).
+	if amp, cl := find(apu, "XSBench", modelapi.CppAMP, timing.Double), find(apu, "XSBench", modelapi.OpenCL, timing.Double); amp.Speedup <= cl.Speedup {
+		t.Errorf("APU XSBench: AMP %.2f not above OpenCL %.2f", amp.Speedup, cl.Speedup)
+	}
+	// APU miniFE: OpenACC is a slowdown (<1), OpenCL ≈ OpenMP.
+	if s := find(apu, "miniFE", modelapi.OpenACC, timing.Double).Speedup; s >= 1 {
+		t.Errorf("APU miniFE OpenACC speedup = %.2f, want <1", s)
+	}
+	// SP ≥ DP on the flops-bound app (the 1/4 dGPU DP rate bites; on
+	// bandwidth- or transfer-bound apps the CPU baseline's own DP
+	// penalty offsets it, as in the paper's near-equal XSBench bars).
+	for _, app := range []string{"CoMD"} {
+		for _, model := range modelapi.All() {
+			sp := find(dgpu, app, model, timing.Single).Speedup
+			dp := find(dgpu, app, model, timing.Double).Speedup
+			if dp > sp*1.1 {
+				t.Errorf("dGPU %s/%s: DP speedup %.2f above SP %.2f", app, model, dp, sp)
+			}
+		}
+	}
+}
+
+// Figure 10 headline: C++ AMP most productive on the APU (harmonic mean);
+// OpenCL most productive on the dGPU.
+func TestProductivityShapes(t *testing.T) {
+	apu := ProductivityData(ScaleSmall, sim.NewAPU)
+	cl, amp, acc := HarmonicMeans(apu)
+	if !(amp > cl) {
+		t.Errorf("APU harmonic means: AMP %.2f not above OpenCL %.2f (ACC %.2f)", amp, cl, acc)
+	}
+	// Figure 10b's direction: OpenCL's productivity standing improves
+	// sharply when moving APU → dGPU (its speedup advantage outgrows its
+	// line-count cost). With Table IV's 10–160× line ratios, Eq. 1
+	// cannot rank OpenCL's harmonic mean first outright (EXPERIMENTS.md
+	// discusses this against the paper's own numbers), so we assert the
+	// relative shift plus a concrete per-app win.
+	dgpu := ProductivityData(ScaleSmall, sim.NewDGPU)
+	cl2, amp2, _ := HarmonicMeans(dgpu)
+	if (cl2 / amp2) <= 1.3*(cl/amp) {
+		t.Errorf("OpenCL/AMP productivity ratio did not improve APU→dGPU: %.3f → %.3f", cl/amp, cl2/amp2)
+	}
+	for _, r := range dgpu {
+		if r.App == "LULESH" && r.OpenCL <= r.CppAMP {
+			t.Errorf("dGPU LULESH productivity: OpenCL %.2f not above AMP %.2f (similar line counts, big speedup gap)", r.OpenCL, r.CppAMP)
+		}
+	}
+	// Paper: "C++ AMP ... is as much as 3× more productive for XSBench
+	// on the APU" — require a clear XSBench productivity win for AMP.
+	for _, r := range apu {
+		if r.App == "XSBench" && r.CppAMP < 2*r.OpenCL {
+			t.Errorf("APU XSBench productivity: AMP %.2f not ≫ OpenCL %.2f", r.CppAMP, r.OpenCL)
+		}
+	}
+}
+
+func TestAblationShapes(t *testing.T) {
+	// HC beats AMP and OpenACC on both dGPU apps and is at least
+	// competitive with OpenCL (async overlap hides uploads; no
+	// compiler-managed copies recur).
+	cells := AblationHCData(ScaleSmall)
+	for _, app := range []string{"XSBench", "LULESH"} {
+		byModel := map[modelapi.Name]HCCell{}
+		for _, c := range cells {
+			if c.App == app {
+				byModel[c.Model] = c
+			}
+		}
+		hcRes := byModel[modelapi.HC]
+		if hcRes.ElapsedMs == 0 {
+			t.Fatalf("%s: HC row missing", app)
+		}
+		if hcRes.ElapsedMs >= byModel[modelapi.CppAMP].ElapsedMs {
+			t.Errorf("%s: HC %.2fms not faster than AMP %.2fms", app, hcRes.ElapsedMs, byModel[modelapi.CppAMP].ElapsedMs)
+		}
+		if hcRes.ElapsedMs > byModel[modelapi.OpenCL].ElapsedMs*1.05 {
+			t.Errorf("%s: HC %.2fms worse than OpenCL %.2fms", app, hcRes.ElapsedMs, byModel[modelapi.OpenCL].ElapsedMs)
+		}
+	}
+
+	// Tiling speedup is substantial.
+	flat, tiled := AblationTilesData(ScaleSmall)
+	if flat/tiled < 1.5 {
+		t.Errorf("tiling ablation speedup = %.2f, want ≥1.5", flat/tiled)
+	}
+
+	// Data region slashes PCIe traffic.
+	withMs, withoutMs, withMB, withoutMB := AblationDataRegionData(ScaleSmall)
+	if withoutMB <= withMB*2 {
+		t.Errorf("conservative copies moved %.1f MB vs %.1f MB with region; want ≫", withoutMB, withMB)
+	}
+	if withoutMs <= withMs {
+		t.Errorf("conservative run %.2fms not slower than data-region run %.2fms", withoutMs, withMs)
+	}
+
+	// Grid-structure trade: the nuclide grid moves far less data but
+	// does more search work in the kernel.
+	grids := AblationGridTypeData(ScaleSmall)
+	if len(grids) != 2 {
+		t.Fatalf("gridtype rows = %d", len(grids))
+	}
+	union, nuc := grids[0], grids[1]
+	if nuc.TableMB*3 > union.TableMB {
+		t.Errorf("nuclide table %.0f MB not ≪ unionized %.0f MB", nuc.TableMB, union.TableMB)
+	}
+	if nuc.TransferMs >= union.TransferMs {
+		t.Errorf("nuclide transfer %.2f ms not below unionized %.2f ms", nuc.TransferMs, union.TransferMs)
+	}
+	if nuc.KernelMs <= union.KernelMs {
+		t.Errorf("nuclide kernel %.2f ms not above unionized %.2f ms (extra searches)", nuc.KernelMs, union.KernelMs)
+	}
+}
+
+func TestCLIHelpers(t *testing.T) {
+	if ms, err := Machines("both"); err != nil || len(ms) != 2 {
+		t.Errorf("Machines(both) = %d, %v", len(ms), err)
+	}
+	if ms, err := Machines("apu"); err != nil || len(ms) != 1 || !ms[0]().Unified() {
+		t.Errorf("Machines(apu) wrong")
+	}
+	if ms, err := Machines("dgpu"); err != nil || len(ms) != 1 || ms[0]().Unified() {
+		t.Errorf("Machines(dgpu) wrong")
+	}
+	if _, err := Machines("tpu"); err == nil {
+		t.Error("Machines(tpu) accepted")
+	}
+	if p, err := ParsePrecision("single"); err != nil || p != timing.Single {
+		t.Error("ParsePrecision(single) wrong")
+	}
+	if p, err := ParsePrecision(""); err != nil || p != timing.Double {
+		t.Error("ParsePrecision default wrong")
+	}
+	if _, err := ParsePrecision("half"); err == nil {
+		t.Error("ParsePrecision(half) accepted")
+	}
+}
+
+func TestRunAppRenders(t *testing.T) {
+	w := newWorkloads(ScaleSmall, timing.Double)
+	var buf bytes.Buffer
+	machines, _ := Machines("both")
+	err := RunApp(&buf, "read-benchmark", machines, func(m *sim.Machine, md modelapi.Name) appcore.Result {
+		return w.Readmem.Run(m, md)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"APU", "R9 280X", "OpenMP", "OpenCL", "Speedup", "Checksum"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RunApp output missing %q", want)
+		}
+	}
+}
+
+func TestProfileData(t *testing.T) {
+	rows, total := ProfileData(ScaleSmall, modelapi.CppAMP)
+	if total <= 0 || len(rows) < 10 {
+		t.Fatalf("profile: %d rows, total %g", len(rows), total)
+	}
+	// Shares sum to ≈1 and are sorted descending.
+	sum := 0.0
+	for i, r := range rows {
+		sum += r.Share
+		if i > 0 && r.TotalMs > rows[i-1].TotalMs+1e-9 {
+			t.Error("profile rows not sorted by time")
+			break
+		}
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("profile shares sum to %g", sum)
+	}
+	// Under C++ AMP on the dGPU, the h2d transfer entry (the fallback
+	// kernel's per-iteration round trips) must rank near the top.
+	foundTransfer := false
+	for _, r := range rows[:5] {
+		if r.Name == "(transfer h2d)" || r.Name == "(transfer d2h)" {
+			foundTransfer = true
+		}
+	}
+	if !foundTransfer {
+		t.Error("AMP profile top-5 does not surface the transfer cost")
+	}
+}
+
+func TestRooflineData(t *testing.T) {
+	rows := RooflineData(ScaleSmall)
+	if len(rows) != 5 {
+		t.Fatalf("roofline rows = %d", len(rows))
+	}
+	byApp := map[string]RooflineRow{}
+	for _, r := range rows {
+		byApp[r.App] = r
+		if r.AchievedGflops <= 0 || r.AttainableGflops <= 0 {
+			t.Errorf("%s: non-positive throughput", r.App)
+		}
+		if r.AchievedGflops > r.AttainableGflops*1.05 {
+			t.Errorf("%s: achieved %.0f exceeds attainable %.0f", r.App, r.AchievedGflops, r.AttainableGflops)
+		}
+	}
+	if byApp["read-benchmark"].Bound != "memory" {
+		t.Error("read-benchmark not memory-regime on the roofline")
+	}
+	if byApp["CoMD"].Bound != "compute" {
+		t.Error("CoMD not compute-regime on the roofline")
+	}
+	// CoMD has the highest arithmetic intensity in the suite.
+	for _, app := range []string{"read-benchmark", "miniFE"} {
+		if byApp["CoMD"].IntensityFlopsPerByte <= byApp[app].IntensityFlopsPerByte {
+			t.Errorf("CoMD intensity %.2f not above %s's %.2f",
+				byApp["CoMD"].IntensityFlopsPerByte, app, byApp[app].IntensityFlopsPerByte)
+		}
+	}
+}
+
+func TestEnergyData(t *testing.T) {
+	rows := EnergyData(ScaleSmall)
+	if len(rows) != 10 {
+		t.Fatalf("energy rows = %d, want 10 (5 apps × 2 devices)", len(rows))
+	}
+	for _, r := range rows {
+		if r.EnergyJ <= 0 || r.TimeMs <= 0 {
+			t.Errorf("%s/%s: non-positive energy or time", r.App, r.Machine)
+		}
+		// Average power bounded by idle and board power of the device.
+		var lo, hi float64
+		if r.Machine == sim.NewAPU().Name() {
+			lo, hi = 5, 80
+		} else {
+			lo, hi = 30, 280
+		}
+		if r.AvgW < lo || r.AvgW > hi {
+			t.Errorf("%s/%s: avg power %.0f W outside [%g, %g]", r.App, r.Machine, r.AvgW, lo, hi)
+		}
+	}
+	// CoMD (compute-bound, big dGPU speedup) must be more
+	// energy-efficient on the dGPU despite its board power.
+	var comdAPU, comdDGPU float64
+	for _, r := range rows {
+		if r.App == "CoMD" {
+			if r.Machine == sim.NewAPU().Name() {
+				comdAPU = r.EnergyJ
+			} else {
+				comdDGPU = r.EnergyJ
+			}
+		}
+	}
+	if comdDGPU >= comdAPU {
+		t.Errorf("CoMD energy: dGPU %.3f J not below APU %.3f J", comdDGPU, comdAPU)
+	}
+}
+
+// Every experiment renders without error and produces output.
+func TestRunAllRenders(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAll(ScaleSmall, &buf); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table I", "R9 280X", "CLAMP", "read-benchmark", "Figure 7", "Har. Mean",
+		"Vectorization", "tile_static", "data region",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RunAll output missing %q", want)
+		}
+	}
+	if len(out) < 4000 {
+		t.Errorf("RunAll output suspiciously short: %d bytes", len(out))
+	}
+}

@@ -1,0 +1,165 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"hetbench/internal/models/modelapi"
+	"hetbench/internal/report"
+	"hetbench/internal/sim"
+	"hetbench/internal/sim/timing"
+)
+
+// KernelProfileRow is one kernel's aggregate from the event log.
+type KernelProfileRow struct {
+	Name    string
+	Calls   int
+	TotalMs float64
+	Bound   string
+	Share   float64
+}
+
+// ProfileData runs LULESH under one model on the dGPU with the event log
+// enabled and aggregates per-kernel time — the drill-down that exposes,
+// e.g., the C++ AMP CPU-fallback kernel eating the run.
+func ProfileData(scale Scale, model modelapi.Name) ([]KernelProfileRow, float64) {
+	w := newWorkloads(scale, timing.Double)
+	m := sim.NewDGPU()
+	m.EnableEventLog(true)
+	w.Lulesh.Run(m, model)
+
+	type agg struct {
+		calls int
+		ns    float64
+		bound string
+	}
+	byName := map[string]*agg{}
+	var totalNs float64
+	for _, ev := range m.Events() {
+		key := string(ev.Kind)
+		if ev.Kind == sim.EvKernel {
+			key = ev.Name
+		} else {
+			key = "(transfer " + string(ev.Kind) + ")"
+		}
+		a := byName[key]
+		if a == nil {
+			a = &agg{}
+			byName[key] = a
+		}
+		a.calls++
+		a.ns += ev.TimeNs
+		if ev.Bound != "" {
+			a.bound = ev.Bound
+		}
+		totalNs += ev.TimeNs
+	}
+
+	rows := make([]KernelProfileRow, 0, len(byName))
+	for name, a := range byName {
+		rows = append(rows, KernelProfileRow{
+			Name: name, Calls: a.calls, TotalMs: a.ns / 1e6, Bound: a.bound,
+			Share: a.ns / totalNs,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].TotalMs > rows[j].TotalMs })
+	return rows, totalNs
+}
+
+// RunProfile renders the per-kernel profiles for all three GPU models.
+func RunProfile(scale Scale, w io.Writer) error {
+	for _, model := range modelapi.All() {
+		rows, totalNs := ProfileData(scale, model)
+		t := report.NewTable(
+			fmt.Sprintf("LULESH on the R9 280X under %s — top kernels (total %.2f ms)", model, totalNs/1e6),
+			"Kernel", "Calls", "Total ms", "Share", "Bound")
+		limit := 10
+		if len(rows) < limit {
+			limit = len(rows)
+		}
+		for _, r := range rows[:limit] {
+			t.AddRowf(r.Name, r.Calls, fmt.Sprintf("%.3f", r.TotalMs), fmt.Sprintf("%.1f%%", r.Share*100), r.Bound)
+		}
+		if _, err := t.WriteTo(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// RooflineRow characterizes one app on the dGPU: arithmetic intensity,
+// achieved and attainable throughput.
+type RooflineRow struct {
+	App string
+	// IntensityFlopsPerByte is flops per byte of DRAM traffic.
+	IntensityFlopsPerByte float64
+	AchievedGflops        float64
+	AttainableGflops      float64
+	// Bound is "memory" left of the ridge, "compute" right of it.
+	Bound string
+}
+
+// RooflineData replays each app's cost log on the dGPU and places it on
+// the classic roofline: attainable = min(peak, intensity × bandwidth).
+func RooflineData(scale Scale) []RooflineRow {
+	w := newWorkloads(scale, timing.Single)
+	var out []RooflineRow
+	for _, r := range w.runners() {
+		m := sim.NewDGPU()
+		m.EnableCostLog()
+		r.run(m, modelapi.OpenCL)
+
+		var flops, dram float64
+		for _, lc := range m.CostLog() {
+			if lc.Target != sim.OnAccelerator {
+				continue
+			}
+			items := float64(lc.Cost.Items)
+			flops += items * (lc.Cost.SPFlops + lc.Cost.DPFlops)
+			coal := lc.Cost.Coalesce
+			if coal == 0 {
+				coal = 1
+			}
+			dram += items * (lc.Cost.LoadBytes + lc.Cost.StoreBytes) * lc.Cost.MissRate / coal
+		}
+		if dram == 0 {
+			dram = 1
+		}
+		dev := m.Accelerator()
+		intensity := flops / dram
+		bwRoof := intensity * dev.PeakBandwidthGBs
+		peak := dev.PeakSPGflops()
+		attainable := peak
+		bound := "compute"
+		if bwRoof < peak {
+			attainable = bwRoof
+			bound = "memory"
+		}
+		achieved := flops / m.KernelNs() // flops/ns = Gflops
+		out = append(out, RooflineRow{
+			App:                   r.name,
+			IntensityFlopsPerByte: intensity,
+			AchievedGflops:        achieved,
+			AttainableGflops:      attainable,
+			Bound:                 bound,
+		})
+	}
+	return out
+}
+
+// RunRoofline renders the roofline table.
+func RunRoofline(scale Scale, w io.Writer) error {
+	t := report.NewTable("Roofline placement on the R9 280X (SP, OpenCL, DRAM-filtered traffic)",
+		"Application", "Flops/DRAM-byte", "Achieved GFLOPS", "Attainable GFLOPS", "Regime")
+	for _, r := range RooflineData(scale) {
+		t.AddRowf(r.App,
+			fmt.Sprintf("%.2f", r.IntensityFlopsPerByte),
+			fmt.Sprintf("%.0f", r.AchievedGflops),
+			fmt.Sprintf("%.0f", r.AttainableGflops),
+			r.Bound)
+	}
+	_, err := t.WriteTo(w)
+	return err
+}

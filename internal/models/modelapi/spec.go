@@ -1,0 +1,56 @@
+package modelapi
+
+import (
+	"fmt"
+
+	"hetbench/internal/sim/exec"
+	"hetbench/internal/sim/timing"
+)
+
+// KernelSpec carries the per-kernel information a runtime needs beyond the
+// body itself: an identifying name, the code-generation difficulty class,
+// and the measured memory traits of its access pattern.
+type KernelSpec struct {
+	Name  string
+	Class KernelClass
+	// MissRate is the kernel's LLC miss rate, measured by replaying its
+	// access pattern through sim/cache (see each app's characterization).
+	MissRate float64
+	// Coalesce is the wavefront coalescing efficiency in (0,1].
+	Coalesce float64
+}
+
+// Validate reports malformed specs.
+func (s KernelSpec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("modelapi: kernel spec missing name")
+	case s.MissRate < 0 || s.MissRate > 1:
+		return fmt.Errorf("modelapi: kernel %s MissRate %g outside [0,1]", s.Name, s.MissRate)
+	case s.Coalesce <= 0 || s.Coalesce > 1:
+		return fmt.Errorf("modelapi: kernel %s Coalesce %g outside (0,1]", s.Name, s.Coalesce)
+	}
+	return nil
+}
+
+// Cost assembles the timing-model input for a launch of n items whose
+// measured per-item work is per, compiled by the given profile.
+func (s KernelSpec) Cost(p *Profile, n int, per exec.Counters) timing.KernelCost {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return timing.KernelCost{
+		Items:          n,
+		SPFlops:        per.SPFlops,
+		DPFlops:        per.DPFlops,
+		LoadBytes:      per.LoadBytes,
+		StoreBytes:     per.StoreBytes,
+		LDSBytes:       per.LDSBytes,
+		Instrs:         per.Instrs,
+		MissRate:       s.MissRate,
+		Coalesce:       s.Coalesce,
+		VecEff:         p.VecEffFor(s.Class),
+		MemEff:         p.MemEffFor(s.Class),
+		SerialFraction: p.SerialFractionFor(s.Class),
+	}
+}

@@ -1,0 +1,200 @@
+// Package mpix models the "MPI" half of the paper's MPI+X framing
+// (Section I: "Heterogeneous computing systems are programmed using a
+// combination of programming models referred to as MPI+X"). The paper
+// studies the X on a single node; this package supplies the inter-node
+// substrate so the repository covers the whole stack: a cluster of
+// simulated machines joined by a fabric, with per-rank virtual clocks and
+// the message-passing primitives HPC codes actually use — point-to-point
+// sends, neighbor exchange, allreduce and barrier.
+//
+// Clock semantics are discrete-event: a message completes no earlier than
+// both endpoints have reached its start, plus fabric latency and payload
+// time; collectives synchronize to the slowest participant. That is
+// enough to study strong scaling and the surface-to-volume communication
+// costs of domain decomposition.
+package mpix
+
+import (
+	"fmt"
+	"math"
+
+	"hetbench/internal/sim"
+)
+
+// Fabric is the inter-node network.
+type Fabric struct {
+	Name string
+	// LatencyUs is the one-way small-message latency.
+	LatencyUs float64
+	// BandwidthGBs is the per-link payload bandwidth.
+	BandwidthGBs float64
+}
+
+// DefaultFabric returns a 2014-era FDR InfiniBand-class network
+// (≈1.3 µs latency, ≈6 GB/s per direction).
+func DefaultFabric() Fabric {
+	return Fabric{Name: "FDR InfiniBand", LatencyUs: 1.3, BandwidthGBs: 6}
+}
+
+// Validate reports unusable fabrics.
+func (f Fabric) Validate() error {
+	if f.LatencyUs < 0 || f.BandwidthGBs <= 0 {
+		return fmt.Errorf("mpix: invalid fabric %+v", f)
+	}
+	return nil
+}
+
+// transferNs is the wire time for one message.
+func (f Fabric) transferNs(bytes int64) float64 {
+	return f.LatencyUs*1e3 + float64(bytes)/f.BandwidthGBs
+}
+
+// Cluster is a set of ranks, each bound to its own simulated machine.
+type Cluster struct {
+	fabric Fabric
+	ranks  []*Rank
+	// stats
+	messages  int64
+	bytesSent int64
+}
+
+// Rank is one MPI process with its node and virtual clock.
+type Rank struct {
+	ID      int
+	machine *sim.Machine
+	clockNs float64
+}
+
+// Machine returns the rank's node.
+func (r *Rank) Machine() *sim.Machine { return r.machine }
+
+// TimeNs returns the rank's virtual clock.
+func (r *Rank) TimeNs() float64 { return r.clockNs }
+
+// AdvanceNs adds local work time (compute, I/O) to the rank's clock.
+func (r *Rank) AdvanceNs(ns float64) {
+	if ns < 0 {
+		panic(fmt.Sprintf("mpix: negative advance %g", ns))
+	}
+	r.clockNs += ns
+}
+
+// NewCluster builds n ranks whose machines come from newMachine.
+func NewCluster(n int, newMachine func() *sim.Machine, fabric Fabric) *Cluster {
+	if n <= 0 {
+		panic(fmt.Sprintf("mpix: cluster size %d must be positive", n))
+	}
+	if err := fabric.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cluster{fabric: fabric}
+	for i := 0; i < n; i++ {
+		c.ranks = append(c.ranks, &Rank{ID: i, machine: newMachine()})
+	}
+	return c
+}
+
+// Size returns the rank count.
+func (c *Cluster) Size() int { return len(c.ranks) }
+
+// Rank returns rank i.
+func (c *Cluster) Rank(i int) *Rank {
+	if i < 0 || i >= len(c.ranks) {
+		panic(fmt.Sprintf("mpix: rank %d out of range [0,%d)", i, len(c.ranks)))
+	}
+	return c.ranks[i]
+}
+
+// Fabric returns the network description.
+func (c *Cluster) Fabric() Fabric { return c.fabric }
+
+// Messages and BytesSent report fabric traffic since construction.
+func (c *Cluster) Messages() int64 { return c.messages }
+
+// BytesSent reports total payload bytes.
+func (c *Cluster) BytesSent() int64 { return c.bytesSent }
+
+// Send moves bytes from rank `from` to rank `to`. The matching receive
+// completes when both sides have arrived and the wire time has passed;
+// the sender proceeds after handing the message off (eager/rendezvous
+// blend: sender pays latency, receiver pays latency + payload).
+func (c *Cluster) Send(from, to int, bytes int64) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("mpix: negative message size %d", bytes))
+	}
+	if from == to {
+		panic("mpix: self-send")
+	}
+	s, r := c.Rank(from), c.Rank(to)
+	start := math.Max(s.clockNs, r.clockNs)
+	s.clockNs = start + c.fabric.LatencyUs*1e3
+	r.clockNs = start + c.fabric.transferNs(bytes)
+	c.messages++
+	c.bytesSent += bytes
+}
+
+// Sendrecv is the symmetric neighbor exchange (MPI_Sendrecv): both ranks
+// send `bytes` to each other; both complete at the same instant. The two
+// payloads share the duplex fabric, so the cost is one latency plus one
+// payload time.
+func (c *Cluster) Sendrecv(a, b int, bytes int64) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("mpix: negative message size %d", bytes))
+	}
+	if a == b {
+		panic("mpix: self-exchange")
+	}
+	ra, rb := c.Rank(a), c.Rank(b)
+	start := math.Max(ra.clockNs, rb.clockNs)
+	done := start + c.fabric.transferNs(bytes)
+	ra.clockNs, rb.clockNs = done, done
+	c.messages += 2
+	c.bytesSent += 2 * bytes
+}
+
+// Allreduce combines `bytes` across all ranks (recursive doubling:
+// ⌈log2(n)⌉ rounds of pairwise exchange). All ranks leave at the same
+// time — the slowest arrival plus the reduction rounds.
+func (c *Cluster) Allreduce(bytes int64) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("mpix: negative reduce size %d", bytes))
+	}
+	n := len(c.ranks)
+	start := 0.0
+	for _, r := range c.ranks {
+		start = math.Max(start, r.clockNs)
+	}
+	rounds := math.Ceil(math.Log2(float64(n)))
+	done := start + rounds*c.fabric.transferNs(bytes)
+	for _, r := range c.ranks {
+		r.clockNs = done
+	}
+	if n > 1 {
+		c.messages += int64(rounds) * int64(n)
+		c.bytesSent += int64(rounds) * int64(n) * bytes
+	}
+}
+
+// Barrier synchronizes all ranks (an allreduce of nothing).
+func (c *Cluster) Barrier() { c.Allreduce(0) }
+
+// MaxTimeNs returns the slowest rank's clock — the job's elapsed time.
+func (c *Cluster) MaxTimeNs() float64 {
+	t := 0.0
+	for _, r := range c.ranks {
+		t = math.Max(t, r.clockNs)
+	}
+	return t
+}
+
+// MinTimeNs returns the fastest rank's clock (for imbalance metrics).
+func (c *Cluster) MinTimeNs() float64 {
+	if len(c.ranks) == 0 {
+		return 0
+	}
+	t := math.Inf(1)
+	for _, r := range c.ranks {
+		t = math.Min(t, r.clockNs)
+	}
+	return t
+}

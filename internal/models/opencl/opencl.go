@@ -1,0 +1,186 @@
+// Package opencl is the explicit, low-level runtime: contexts, command
+// queues, buffers with programmer-managed staging, and NDRange kernel
+// launches with optional work-group tiling and local-data-store use — the
+// traditional model the paper treats as the performance yardstick.
+//
+// The API mirrors the host-side structure of Figure 4a: create buffers,
+// copy data to the device (a real PCIe cost on the discrete machine, free
+// on the APU), set arguments by closure capture, launch, and copy back.
+package opencl
+
+import (
+	"fmt"
+
+	"hetbench/internal/models/modelapi"
+	"hetbench/internal/sim"
+	"hetbench/internal/sim/exec"
+	"hetbench/internal/sim/timing"
+)
+
+// Context owns buffers and kernels for one machine, as in clCreateContext.
+type Context struct {
+	machine *sim.Machine
+	profile *modelapi.Profile
+	cache   map[string]exec.Counters
+}
+
+// NewContext initializes the runtime for a machine (the InitCl() of
+// Figure 4a collapses to this).
+func NewContext(machine *sim.Machine) *Context {
+	return &Context{
+		machine: machine,
+		profile: modelapi.ProfileOn(modelapi.OpenCL, machine.Unified()),
+		cache:   make(map[string]exec.Counters),
+	}
+}
+
+// Machine returns the bound machine.
+func (c *Context) Machine() *sim.Machine { return c.machine }
+
+// Buffer is a device allocation (cl_mem). The simulator keeps one copy of
+// the data (the Go slice owned by the application); Buffer tracks the
+// allocation size so transfers are charged faithfully.
+type Buffer struct {
+	ctx   *Context
+	name  string
+	bytes int64
+}
+
+// CreateBuffer allocates a device buffer of the given size.
+func (c *Context) CreateBuffer(name string, bytes int64) *Buffer {
+	if bytes < 0 {
+		panic(fmt.Sprintf("opencl: negative buffer size %d", bytes))
+	}
+	return &Buffer{ctx: c, name: name, bytes: bytes}
+}
+
+// Bytes returns the allocation size.
+func (b *Buffer) Bytes() int64 { return b.bytes }
+
+// Queue is an in-order command queue. The simulated machine is synchronous,
+// so enqueue operations complete (and charge time) immediately; Finish is
+// kept for API fidelity.
+type Queue struct {
+	ctx *Context
+}
+
+// NewQueue creates a command queue.
+func (c *Context) NewQueue() *Queue { return &Queue{ctx: c} }
+
+// EnqueueWriteBuffer stages a buffer's contents into device memory:
+// a PCIe transfer on the discrete machine, free on the APU (the paper's
+// "the host-code ... is much simpler without the need for ... staging
+// data" advantage).
+func (q *Queue) EnqueueWriteBuffer(b *Buffer) float64 {
+	return q.ctx.machine.TransferToDevice(b.name, b.bytes)
+}
+
+// EnqueueReadBuffer copies a buffer's contents back to the host.
+func (q *Queue) EnqueueReadBuffer(b *Buffer) float64 {
+	return q.ctx.machine.TransferFromDevice(b.name, b.bytes)
+}
+
+// Finish blocks until the queue drains (a no-op on the synchronous
+// simulator, present for API fidelity).
+func (q *Queue) Finish() {}
+
+// Kernel is a compiled device function. Exactly one of body or phases is
+// set: simple kernels give a per-item body; tiled kernels give barrier-
+// delimited phases with an LDS allocation.
+type Kernel struct {
+	ctx    *Context
+	spec   modelapi.KernelSpec
+	body   func(*exec.WorkItem)
+	phases []exec.Phase
+	lds    int
+
+	// Unroll marks the kernel as hand-unrolled (an OpenCL-only tuning
+	// knob per Figure 11): the dynamic instruction count drops.
+	Unroll bool
+
+	// lastPer holds the most recent functional launch's per-item
+	// counters so ReplayNDRange can re-charge without re-executing.
+	lastPer   exec.Counters
+	lastValid bool
+}
+
+// CreateKernel compiles a simple (non-tiled) kernel.
+func (c *Context) CreateKernel(spec modelapi.KernelSpec, body func(*exec.WorkItem)) *Kernel {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	if body == nil {
+		panic("opencl: nil kernel body")
+	}
+	return &Kernel{ctx: c, spec: spec, body: body}
+}
+
+// CreateTiledKernel compiles a kernel that uses work-group local memory
+// (ldsFloats float64 words per group) and barrier-delimited phases.
+func (c *Context) CreateTiledKernel(spec modelapi.KernelSpec, ldsFloats int, phases ...exec.Phase) *Kernel {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	if len(phases) == 0 {
+		panic("opencl: tiled kernel needs phases")
+	}
+	return &Kernel{ctx: c, spec: spec, phases: phases, lds: ldsFloats}
+}
+
+// Spec returns the kernel's spec.
+func (k *Kernel) Spec() modelapi.KernelSpec { return k.spec }
+
+// EnqueueNDRange launches the kernel over global work items (local sets
+// the work-group size for tiled kernels; simple kernels ignore it) and
+// returns the simulated timing.
+func (q *Queue) EnqueueNDRange(k *Kernel, global, local int) timing.Result {
+	var res exec.Result
+	if k.phases != nil {
+		res = exec.RunTiled(global, local, k.lds, k.phases...)
+	} else {
+		res = exec.Run(global, k.body)
+	}
+	per := res.Counters.PerItem(global)
+	if k.Unroll {
+		// Hand-unrolling removes loop-control overhead: fewer dynamic
+		// instructions for the same flops/bytes.
+		per.Instrs *= 0.75
+	}
+	k.lastPer, k.lastValid = per, true
+	cost := k.spec.Cost(q.ctx.profile, global, per)
+	return q.ctx.machine.LaunchKernel(sim.OnAccelerator, k.spec.Name, cost)
+}
+
+// Launch runs the kernel functionally when functional is true (or when it
+// has never executed), otherwise replays its measured cost.
+func (q *Queue) Launch(k *Kernel, global, local int, functional bool) timing.Result {
+	if functional || !k.lastValid {
+		return q.EnqueueNDRange(k, global, local)
+	}
+	return q.ReplayNDRange(k, global)
+}
+
+// LaunchFunc is the closure-per-call form of Launch for kernels whose body
+// captures loop-varying state (e.g. the timestep): the cost cache is keyed
+// by spec name on the context, and non-functional calls replay it.
+func (q *Queue) LaunchFunc(spec modelapi.KernelSpec, global int, functional bool, body func(*exec.WorkItem)) timing.Result {
+	per, ok := q.ctx.cache[spec.Name]
+	if functional || !ok {
+		res := exec.Run(global, body)
+		per = res.Counters.PerItem(global)
+		q.ctx.cache[spec.Name] = per
+	}
+	cost := spec.Cost(q.ctx.profile, global, per)
+	return q.ctx.machine.LaunchKernel(sim.OnAccelerator, spec.Name, cost)
+}
+
+// ReplayNDRange charges another launch with the counters measured by the
+// most recent EnqueueNDRange, without functional re-execution. It panics
+// if the kernel has never run functionally.
+func (q *Queue) ReplayNDRange(k *Kernel, global int) timing.Result {
+	if !k.lastValid {
+		panic(fmt.Sprintf("opencl: ReplayNDRange(%s) before any functional launch", k.spec.Name))
+	}
+	cost := k.spec.Cost(q.ctx.profile, global, k.lastPer)
+	return q.ctx.machine.LaunchKernel(sim.OnAccelerator, k.spec.Name, cost)
+}

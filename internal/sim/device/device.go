@@ -1,0 +1,183 @@
+// Package device describes the hardware platforms simulated by hetbench.
+//
+// A Device is a static description of one computational unit — a discrete
+// GPU, the GPU side of an APU, or a multicore CPU — carrying the geometry
+// (compute units, SIMD lanes), clock domains, arithmetic throughput ratios
+// and memory-system parameters that the timing model consumes. The catalog
+// in catalog.go mirrors Table II of the paper (AMD Radeon R9 280X and AMD
+// A10-7850K).
+package device
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind distinguishes the classes of device the simulator models.
+type Kind int
+
+const (
+	// KindCPU is a multicore scalar/SIMD x86-style processor.
+	KindCPU Kind = iota
+	// KindDiscreteGPU is a GPU on the far side of a PCIe link with its
+	// own high-bandwidth memory.
+	KindDiscreteGPU
+	// KindIntegratedGPU is the GPU half of an APU sharing host memory.
+	KindIntegratedGPU
+)
+
+// String returns a human-readable name for the device kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCPU:
+		return "CPU"
+	case KindDiscreteGPU:
+		return "discrete GPU"
+	case KindIntegratedGPU:
+		return "integrated GPU"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// MemKind identifies the DRAM technology attached to a device; it selects
+// the bandwidth-versus-frequency curve in the memory model.
+type MemKind int
+
+const (
+	// MemDDR3 is commodity host memory (dual-channel DDR3 in Table II).
+	MemDDR3 MemKind = iota
+	// MemGDDR5 is high-bandwidth graphics memory (384-bit GDDR5 on the
+	// R9 280X).
+	MemGDDR5
+)
+
+// String returns the DRAM technology name.
+func (m MemKind) String() string {
+	if m == MemGDDR5 {
+		return "GDDR5"
+	}
+	return "DDR3"
+}
+
+// Device is an immutable description of one simulated processor.
+// All rates are in base (non-boost) terms; the timing model applies
+// frequency overrides for sweep experiments.
+type Device struct {
+	Name string
+	Kind Kind
+
+	// Geometry. For GPUs a compute unit is 4 SIMDs × 16 lanes = 64-wide
+	// wavefronts; for CPUs ComputeUnits is the core count and LanesPerCU
+	// is the SIMD width of one core (e.g. 4 for 256-bit AVX doubles).
+	ComputeUnits int
+	LanesPerCU   int
+	// WavefrontSize is the scheduling granularity (64 on GCN GPUs,
+	// 1 on CPUs).
+	WavefrontSize int
+
+	// Clocks (MHz).
+	CoreClockMHz int
+	MemClockMHz  int
+
+	// FlopsPerLanePerClock is the per-lane single-precision multiply-add
+	// issue rate (2 for FMA-capable hardware).
+	FlopsPerLanePerClock float64
+	// DPRatio is double-precision throughput relative to single
+	// (1/4 on the R9 280X, 1/16 on the A10-7850K GPU, 1/2 on the CPU).
+	DPRatio float64
+
+	// Memory system.
+	MemKind            MemKind
+	MemBusBits         int     // DRAM bus width
+	PeakBandwidthGBs   float64 // at MemClockMHz
+	DeviceMemoryBytes  int64   // capacity (3 GB dGPU, shared on APU)
+	UnifiedMemory      bool    // true when no staging copies are needed
+	L2SizeBytes        int
+	L2Ways             int
+	CacheLineBytes     int
+	LDSPerCUBytes      int
+	LDSBandwidthGBs    float64 // aggregate local-data-store bandwidth
+	MemLatencyNs       float64 // unloaded DRAM round-trip
+	MaxOutstandingReqs int     // per CU, limits latency-bound bandwidth
+
+	// IssuePerClock is how many (wavefront) instructions one compute
+	// unit issues per clock: 1 on GCN front ends, ~3 on superscalar CPU
+	// cores. Zero is treated as 1.
+	IssuePerClock float64
+
+	// KernelLaunchOverheadUs is the fixed host-side cost of one launch.
+	KernelLaunchOverheadUs float64
+}
+
+// Validate reports a descriptive error if the device description is
+// internally inconsistent or missing required fields.
+func (d *Device) Validate() error {
+	switch {
+	case d.Name == "":
+		return errors.New("device: name is empty")
+	case d.ComputeUnits <= 0:
+		return fmt.Errorf("device %s: ComputeUnits must be positive, got %d", d.Name, d.ComputeUnits)
+	case d.LanesPerCU <= 0:
+		return fmt.Errorf("device %s: LanesPerCU must be positive, got %d", d.Name, d.LanesPerCU)
+	case d.WavefrontSize <= 0:
+		return fmt.Errorf("device %s: WavefrontSize must be positive, got %d", d.Name, d.WavefrontSize)
+	case d.CoreClockMHz <= 0:
+		return fmt.Errorf("device %s: CoreClockMHz must be positive, got %d", d.Name, d.CoreClockMHz)
+	case d.MemClockMHz <= 0:
+		return fmt.Errorf("device %s: MemClockMHz must be positive, got %d", d.Name, d.MemClockMHz)
+	case d.FlopsPerLanePerClock <= 0:
+		return fmt.Errorf("device %s: FlopsPerLanePerClock must be positive", d.Name)
+	case d.DPRatio <= 0 || d.DPRatio > 1:
+		return fmt.Errorf("device %s: DPRatio must be in (0,1], got %g", d.Name, d.DPRatio)
+	case d.PeakBandwidthGBs <= 0:
+		return fmt.Errorf("device %s: PeakBandwidthGBs must be positive", d.Name)
+	case d.L2SizeBytes <= 0 || d.L2Ways <= 0 || d.CacheLineBytes <= 0:
+		return fmt.Errorf("device %s: L2 geometry must be positive", d.Name)
+	case d.L2SizeBytes%(d.L2Ways*d.CacheLineBytes) != 0:
+		return fmt.Errorf("device %s: L2 size %d not divisible by ways*line", d.Name, d.L2SizeBytes)
+	case d.MemLatencyNs <= 0:
+		return fmt.Errorf("device %s: MemLatencyNs must be positive", d.Name)
+	case d.MaxOutstandingReqs <= 0:
+		return fmt.Errorf("device %s: MaxOutstandingReqs must be positive", d.Name)
+	}
+	return nil
+}
+
+// PeakSPGflops returns the single-precision peak in GFLOP/s at the base
+// core clock. (R9 280X: 2048 lanes × 2 × 0.925 GHz ≈ 3790 GFLOPS, matching
+// Table II's 3800.)
+func (d *Device) PeakSPGflops() float64 {
+	return d.PeakSPGflopsAt(d.CoreClockMHz)
+}
+
+// PeakSPGflopsAt returns the single-precision peak at an overridden core
+// clock in MHz.
+func (d *Device) PeakSPGflopsAt(coreMHz int) float64 {
+	lanes := float64(d.ComputeUnits * d.LanesPerCU)
+	return lanes * d.FlopsPerLanePerClock * float64(coreMHz) / 1000.0
+}
+
+// PeakDPGflops returns the double-precision peak at the base core clock.
+func (d *Device) PeakDPGflops() float64 {
+	return d.PeakSPGflops() * d.DPRatio
+}
+
+// TotalLanes returns the number of hardware SIMD lanes (stream processors
+// in AMD marketing terms: 2048 on the R9 280X, 512 on the A10-7850K GPU).
+func (d *Device) TotalLanes() int {
+	return d.ComputeUnits * d.LanesPerCU
+}
+
+// BandwidthAt scales peak DRAM bandwidth linearly with memory clock, which
+// holds for DRAM in the frequency ranges the paper sweeps (480–1250 MHz).
+func (d *Device) BandwidthAt(memMHz int) float64 {
+	return d.PeakBandwidthGBs * float64(memMHz) / float64(d.MemClockMHz)
+}
+
+// String implements fmt.Stringer with a compact spec line.
+func (d *Device) String() string {
+	return fmt.Sprintf("%s (%s, %d CU × %d lanes @ %d MHz, %s %.0f GB/s)",
+		d.Name, d.Kind, d.ComputeUnits, d.LanesPerCU, d.CoreClockMHz,
+		d.MemKind, d.PeakBandwidthGBs)
+}

@@ -1,0 +1,347 @@
+// Package sim composes the hardware substrates (device descriptions, the
+// timing model, the PCIe link) into a Machine: one simulated heterogeneous
+// platform on which the programming-model runtimes execute kernels and
+// transfers while a virtual clock accumulates.
+//
+// Two stock machines mirror the paper's Section V setup: an AMD A10-7850K
+// APU (unified memory, no staging copies) and the same APU hosting an AMD
+// Radeon R9 280X across PCIe.
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"hetbench/internal/sim/device"
+	"hetbench/internal/sim/pcie"
+	"hetbench/internal/sim/timing"
+)
+
+// Target selects which side of the machine runs a kernel.
+type Target int
+
+const (
+	// OnHost runs on the CPU cores.
+	OnHost Target = iota
+	// OnAccelerator runs on the GPU.
+	OnAccelerator
+)
+
+// EventKind classifies entries in the machine's event log.
+type EventKind string
+
+// Event kinds recorded in the log.
+const (
+	EvKernel       EventKind = "kernel"
+	EvHostToDevice EventKind = "h2d"
+	EvDeviceToHost EventKind = "d2h"
+)
+
+// Event is one logged operation with its simulated duration.
+type Event struct {
+	Kind   EventKind
+	Name   string
+	TimeNs float64
+	Bytes  int64
+	Bound  string // limiting resource for kernels
+}
+
+// Machine is one simulated heterogeneous platform. Methods are safe for
+// concurrent use; the virtual clock serializes additions.
+type Machine struct {
+	name  string
+	host  *device.Device
+	accel *device.Device
+	link  *pcie.Link // nil when memory is unified
+
+	hostModel  *timing.Model
+	accelModel *timing.Model
+
+	mu      sync.Mutex
+	clockNs float64
+	// Split clocks let experiments report "kernel-only" time the way the
+	// paper's Figure 8a/9a excludes data transfers.
+	kernelNs   float64
+	transferNs float64
+	events     []Event
+	logEvents  bool
+	// Workload-characterization accumulators (Table I): time-weighted
+	// IPC and per-bound kernel time.
+	ipcWeighted float64
+	boundNs     map[string]float64
+	costLog     []LoggedCost
+}
+
+// NewAPU returns the A10-7850K machine: 4 CPU cores + 8 GCN CUs on one die
+// with unified memory (no PCIe link, zero-cost "transfers").
+func NewAPU() *Machine {
+	return newMachine("APU (A10-7850K)", device.HostCPU(), device.A10_7850K(), nil)
+}
+
+// NewDGPU returns the discrete machine: the A10-7850K as host plus an
+// R9 280X across PCIe 3.0 x16.
+func NewDGPU() *Machine {
+	return newMachine("dGPU (R9 280X)", device.HostCPU(), device.R9280X(), pcie.Default())
+}
+
+// NewCustom builds a machine from parts. link may be nil for unified
+// memory; accel may equal host for a CPU-only machine.
+func NewCustom(name string, host, accel *device.Device, link *pcie.Link) *Machine {
+	return newMachine(name, host, accel, link)
+}
+
+func newMachine(name string, host, accel *device.Device, link *pcie.Link) *Machine {
+	if err := host.Validate(); err != nil {
+		panic(fmt.Sprintf("sim: bad host: %v", err))
+	}
+	if err := accel.Validate(); err != nil {
+		panic(fmt.Sprintf("sim: bad accelerator: %v", err))
+	}
+	if link != nil {
+		if err := link.Validate(); err != nil {
+			panic(fmt.Sprintf("sim: bad link: %v", err))
+		}
+	}
+	return &Machine{
+		name:       name,
+		host:       host,
+		accel:      accel,
+		link:       link,
+		hostModel:  timing.NewModel(host),
+		accelModel: timing.NewModel(accel),
+	}
+}
+
+// Name returns the machine's display name.
+func (m *Machine) Name() string { return m.name }
+
+// Host returns the CPU device description.
+func (m *Machine) Host() *device.Device { return m.host }
+
+// Accelerator returns the GPU device description.
+func (m *Machine) Accelerator() *device.Device { return m.accel }
+
+// Unified reports whether host and accelerator share one memory space.
+func (m *Machine) Unified() bool { return m.link == nil }
+
+// Link returns the PCIe link, or nil on unified machines.
+func (m *Machine) Link() *pcie.Link { return m.link }
+
+// AcceleratorModel exposes the accelerator timing model (for clock sweeps).
+func (m *Machine) AcceleratorModel() *timing.Model { return m.accelModel }
+
+// HostModel exposes the host timing model.
+func (m *Machine) HostModel() *timing.Model { return m.hostModel }
+
+// EnableEventLog turns on per-operation event recording (off by default to
+// keep long sweeps cheap).
+func (m *Machine) EnableEventLog(on bool) {
+	m.mu.Lock()
+	m.logEvents = on
+	m.mu.Unlock()
+}
+
+// LaunchKernel advances the virtual clock by the modeled duration of a
+// kernel with the given cost on the chosen target, and returns the timing
+// breakdown.
+func (m *Machine) LaunchKernel(target Target, name string, cost timing.KernelCost) timing.Result {
+	model := m.accelModel
+	if target == OnHost {
+		model = m.hostModel
+	}
+	r := model.Kernel(cost)
+	m.mu.Lock()
+	m.clockNs += r.TimeNs
+	m.kernelNs += r.TimeNs
+	m.ipcWeighted += r.IPC * r.TimeNs
+	if m.boundNs == nil {
+		m.boundNs = make(map[string]float64)
+	}
+	// Weight boundedness by the limiting term itself so fixed launch
+	// overhead on small kernels does not masquerade as a resource bound.
+	m.boundNs[r.Bound] += r.TimeNs - r.LaunchNs
+	if m.costLog != nil {
+		m.costLog = append(m.costLog, LoggedCost{Target: target, Name: name, Cost: cost})
+	}
+	if m.logEvents {
+		m.events = append(m.events, Event{Kind: EvKernel, Name: name, TimeNs: r.TimeNs, Bound: r.Bound})
+	}
+	m.mu.Unlock()
+	return r
+}
+
+// LoggedCost is one recorded kernel launch (see EnableCostLog).
+type LoggedCost struct {
+	Target Target
+	Name   string
+	Cost   timing.KernelCost
+}
+
+// EnableCostLog starts recording every kernel launch's cost so sweeps can
+// replay the same launch sequence against different clock settings
+// without functional re-execution (the Figure 7 driver).
+func (m *Machine) EnableCostLog() {
+	m.mu.Lock()
+	if m.costLog == nil {
+		m.costLog = make([]LoggedCost, 0, 256)
+	}
+	m.mu.Unlock()
+}
+
+// CostLog returns a copy of the recorded launches.
+func (m *Machine) CostLog() []LoggedCost {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]LoggedCost, len(m.costLog))
+	copy(out, m.costLog)
+	return out
+}
+
+// IPC returns the time-weighted mean instructions-per-cycle of all
+// kernels launched since the last reset (the Table I metric).
+func (m *Machine) IPC() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.kernelNs == 0 {
+		return 0
+	}
+	return m.ipcWeighted / m.kernelNs
+}
+
+// Boundedness classifies the run from the per-bound kernel-time split:
+// "Memory" when bandwidth dominates, "Compute" when ALU/issue dominates,
+// "Balanced" otherwise (the Table I column).
+func (m *Machine) Boundedness() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.kernelNs == 0 {
+		return "Unknown"
+	}
+	total := 0.0
+	for _, v := range m.boundNs {
+		total += v
+	}
+	if total == 0 {
+		return "Unknown"
+	}
+	mem := m.boundNs["mem"] / total
+	compute := (m.boundNs["alu"] + m.boundNs["issue"] + m.boundNs["lds"]) / total
+	switch {
+	case mem > 0.6:
+		return "Memory"
+	case compute > 0.6:
+		return "Compute"
+	default:
+		return "Balanced"
+	}
+}
+
+// TransferToDevice moves bytes host→device. On unified machines it is free
+// (the paper's APU advantage); across PCIe it costs link time.
+func (m *Machine) TransferToDevice(name string, bytes int64) float64 {
+	return m.transfer(EvHostToDevice, name, bytes)
+}
+
+// TransferFromDevice moves bytes device→host.
+func (m *Machine) TransferFromDevice(name string, bytes int64) float64 {
+	return m.transfer(EvDeviceToHost, name, bytes)
+}
+
+func (m *Machine) transfer(kind EventKind, name string, bytes int64) float64 {
+	if bytes < 0 {
+		panic(fmt.Sprintf("sim: negative transfer %d", bytes))
+	}
+	var ns float64
+	if m.link != nil {
+		var us float64
+		if kind == EvHostToDevice {
+			us = m.link.ToDevice(bytes)
+		} else {
+			us = m.link.FromDevice(bytes)
+		}
+		ns = us * 1e3
+	}
+	m.mu.Lock()
+	m.clockNs += ns
+	m.transferNs += ns
+	if m.logEvents {
+		m.events = append(m.events, Event{Kind: kind, Name: name, TimeNs: ns, Bytes: bytes})
+	}
+	m.mu.Unlock()
+	return ns
+}
+
+// AddHostTime advances the clock for host-side serial work (e.g. the AMP
+// LULESH kernel that fell back to the CPU).
+func (m *Machine) AddHostTime(name string, ns float64) {
+	if ns < 0 {
+		panic(fmt.Sprintf("sim: negative host time %g", ns))
+	}
+	m.mu.Lock()
+	m.clockNs += ns
+	m.kernelNs += ns
+	if m.logEvents {
+		m.events = append(m.events, Event{Kind: EvKernel, Name: name, TimeNs: ns, Bound: "host"})
+	}
+	m.mu.Unlock()
+}
+
+// AddTransferTime advances the clock for data movement accounted outside
+// the link helpers (e.g. the un-hidden remainder of an asynchronous
+// transfer in the HC model).
+func (m *Machine) AddTransferTime(name string, ns float64) {
+	if ns < 0 {
+		panic(fmt.Sprintf("sim: negative transfer time %g", ns))
+	}
+	m.mu.Lock()
+	m.clockNs += ns
+	m.transferNs += ns
+	if m.logEvents {
+		m.events = append(m.events, Event{Kind: EvHostToDevice, Name: name, TimeNs: ns})
+	}
+	m.mu.Unlock()
+}
+
+// ElapsedNs returns the virtual clock.
+func (m *Machine) ElapsedNs() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.clockNs
+}
+
+// KernelNs returns time spent in kernels only (the Figure 8a/9a metric).
+func (m *Machine) KernelNs() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.kernelNs
+}
+
+// TransferNs returns time spent in data movement only.
+func (m *Machine) TransferNs() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.transferNs
+}
+
+// Events returns a copy of the event log.
+func (m *Machine) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Event, len(m.events))
+	copy(out, m.events)
+	return out
+}
+
+// ResetClock zeroes the virtual clock, split clocks and event log (the
+// PCIe ledger is left to the caller, who may want cumulative traffic).
+func (m *Machine) ResetClock() {
+	m.mu.Lock()
+	m.clockNs, m.kernelNs, m.transferNs = 0, 0, 0
+	m.ipcWeighted = 0
+	m.boundNs = nil
+	m.events = nil
+	if m.costLog != nil {
+		m.costLog = m.costLog[:0]
+	}
+	m.mu.Unlock()
+}

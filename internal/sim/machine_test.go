@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"hetbench/internal/sim/device"
+	"hetbench/internal/sim/timing"
+)
+
+func cost() timing.KernelCost {
+	return timing.KernelCost{Items: 1 << 16, SPFlops: 100, LoadBytes: 16, Instrs: 50, MissRate: 0.3, Coalesce: 1, VecEff: 1}
+}
+
+func TestStockMachines(t *testing.T) {
+	apu := NewAPU()
+	if !apu.Unified() {
+		t.Error("APU must be unified")
+	}
+	if apu.Link() != nil {
+		t.Error("APU must have no PCIe link")
+	}
+	dgpu := NewDGPU()
+	if dgpu.Unified() {
+		t.Error("dGPU machine must not be unified")
+	}
+	if dgpu.Link() == nil {
+		t.Error("dGPU machine must have a PCIe link")
+	}
+	if apu.Name() == "" || dgpu.Name() == "" {
+		t.Error("machines must be named")
+	}
+	if dgpu.Host().Kind != device.KindCPU || dgpu.Accelerator().Kind != device.KindDiscreteGPU {
+		t.Error("dGPU machine device kinds wrong")
+	}
+}
+
+func TestKernelAdvancesClock(t *testing.T) {
+	m := NewAPU()
+	r := m.LaunchKernel(OnAccelerator, "k1", cost())
+	if r.TimeNs <= 0 {
+		t.Fatal("kernel time not positive")
+	}
+	if m.ElapsedNs() != r.TimeNs {
+		t.Errorf("clock = %g, want %g", m.ElapsedNs(), r.TimeNs)
+	}
+	if m.KernelNs() != r.TimeNs || m.TransferNs() != 0 {
+		t.Error("split clocks wrong after kernel")
+	}
+}
+
+func TestTransfersFreeOnAPUCostlyOnDGPU(t *testing.T) {
+	apu, dgpu := NewAPU(), NewDGPU()
+	const bytes = 240 << 20 // the XSBench lookup table
+	if ns := apu.TransferToDevice("xs table", bytes); ns != 0 {
+		t.Errorf("APU transfer cost %g ns, want 0", ns)
+	}
+	ns := dgpu.TransferToDevice("xs table", bytes)
+	if ns <= 0 {
+		t.Fatal("dGPU transfer cost nothing")
+	}
+	if ms := ns / 1e6; ms < 30 || ms > 60 {
+		t.Errorf("240 MB over PCIe = %g ms, want ≈40", ms)
+	}
+	if dgpu.TransferNs() != ns || dgpu.KernelNs() != 0 {
+		t.Error("split clocks wrong after transfer")
+	}
+	if dgpu.Link().Stats().BytesToDevice != bytes {
+		t.Error("PCIe ledger not updated")
+	}
+	dgpu.TransferFromDevice("result", 1024)
+	if dgpu.Link().Stats().TransfersFromDevice != 1 {
+		t.Error("d2h not recorded")
+	}
+}
+
+func TestHostVsAcceleratorTargets(t *testing.T) {
+	m := NewDGPU()
+	k := cost()
+	rHost := m.LaunchKernel(OnHost, "k", k)
+	rAccel := m.LaunchKernel(OnAccelerator, "k", k)
+	// The 32-CU GPU must beat the 4-core CPU on this parallel kernel.
+	if rAccel.TimeNs >= rHost.TimeNs {
+		t.Errorf("accelerator (%g ns) not faster than host (%g ns)", rAccel.TimeNs, rHost.TimeNs)
+	}
+}
+
+func TestEventLog(t *testing.T) {
+	m := NewDGPU()
+	m.EnableEventLog(true)
+	m.TransferToDevice("in", 4096)
+	m.LaunchKernel(OnAccelerator, "work", cost())
+	m.TransferFromDevice("out", 4096)
+	ev := m.Events()
+	if len(ev) != 3 {
+		t.Fatalf("logged %d events, want 3", len(ev))
+	}
+	if ev[0].Kind != EvHostToDevice || ev[1].Kind != EvKernel || ev[2].Kind != EvDeviceToHost {
+		t.Errorf("event kinds = %v %v %v", ev[0].Kind, ev[1].Kind, ev[2].Kind)
+	}
+	if ev[1].Name != "work" || ev[1].Bound == "" {
+		t.Error("kernel event missing name/bound")
+	}
+	m.ResetClock()
+	if m.ElapsedNs() != 0 || len(m.Events()) != 0 {
+		t.Error("ResetClock incomplete")
+	}
+}
+
+func TestAddHostTime(t *testing.T) {
+	m := NewAPU()
+	m.AddHostTime("serial part", 1234)
+	if m.ElapsedNs() != 1234 || m.KernelNs() != 1234 {
+		t.Error("AddHostTime not accounted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative host time did not panic")
+		}
+	}()
+	m.AddHostTime("bad", -1)
+}
+
+func TestNegativeTransferPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative transfer did not panic")
+		}
+	}()
+	NewDGPU().TransferToDevice("bad", -1)
+}
+
+func TestConcurrentClock(t *testing.T) {
+	m := NewAPU()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				m.LaunchKernel(OnAccelerator, "k", cost())
+			}
+		}()
+	}
+	wg.Wait()
+	one := NewAPU().LaunchKernel(OnAccelerator, "k", cost()).TimeNs
+	want := one * 400
+	got := m.ElapsedNs()
+	if got < want*0.999 || got > want*1.001 {
+		t.Errorf("concurrent clock = %g, want %g", got, want)
+	}
+}
+
+func TestIPCAndBoundedness(t *testing.T) {
+	m := NewDGPU()
+	if m.Boundedness() != "Unknown" || m.IPC() != 0 {
+		t.Error("fresh machine must report Unknown/0")
+	}
+	// Memory-hog kernel.
+	memCost := timing.KernelCost{Items: 1 << 20, SPFlops: 2, LoadBytes: 256, Instrs: 20, MissRate: 0.9, Coalesce: 1, VecEff: 1}
+	m.LaunchKernel(OnAccelerator, "stream", memCost)
+	if got := m.Boundedness(); got != "Memory" {
+		t.Errorf("boundedness = %s, want Memory", got)
+	}
+	if m.IPC() <= 0 {
+		t.Error("IPC not accumulated")
+	}
+	// Now dominate with compute.
+	cpuCost := timing.KernelCost{Items: 1 << 22, SPFlops: 2000, LoadBytes: 8, Instrs: 2200, MissRate: 0.05, Coalesce: 1, VecEff: 1}
+	m.LaunchKernel(OnAccelerator, "flops", cpuCost)
+	m.LaunchKernel(OnAccelerator, "flops", cpuCost)
+	if got := m.Boundedness(); got != "Compute" {
+		t.Errorf("boundedness = %s, want Compute after flop-heavy kernels", got)
+	}
+	m.ResetClock()
+	if m.Boundedness() != "Unknown" {
+		t.Error("ResetClock did not clear boundedness")
+	}
+}
+
+func TestCostLogReplayMatchesClock(t *testing.T) {
+	rec := NewDGPU()
+	rec.EnableCostLog()
+	c := cost()
+	rec.LaunchKernel(OnAccelerator, "a", c)
+	rec.LaunchKernel(OnHost, "b", c)
+	log := rec.CostLog()
+	if len(log) != 2 || log[0].Name != "a" || log[1].Target != OnHost {
+		t.Fatalf("cost log = %+v", log)
+	}
+	// Replaying on an identical machine reproduces the kernel clock.
+	replay := NewDGPU()
+	for _, lc := range log {
+		replay.LaunchKernel(lc.Target, lc.Name, lc.Cost)
+	}
+	if replay.KernelNs() != rec.KernelNs() {
+		t.Errorf("replayed clock %g != recorded %g", replay.KernelNs(), rec.KernelNs())
+	}
+	// ResetClock clears the log but keeps logging enabled.
+	rec.ResetClock()
+	if len(rec.CostLog()) != 0 {
+		t.Error("ResetClock did not clear cost log")
+	}
+	rec.LaunchKernel(OnAccelerator, "c", c)
+	if len(rec.CostLog()) != 1 {
+		t.Error("cost logging disabled after ResetClock")
+	}
+}
+
+func TestNewCustomValidates(t *testing.T) {
+	bad := device.R9280X()
+	bad.ComputeUnits = 0
+	defer func() {
+		if recover() == nil {
+			t.Error("NewCustom with invalid device did not panic")
+		}
+	}()
+	NewCustom("broken", device.HostCPU(), bad, nil)
+}

@@ -1,0 +1,82 @@
+// Package power models device energy consumption, the quantity behind
+// the paper's opening motivation ("maximize performance while staying
+// under power and thermal constraints"). The model is the standard
+// first-order one:
+//
+//	P_dynamic ∝ C·V²·f with V ∝ f in the DVFS range → P_dyn ∝ f³
+//	P_total = P_idle + utilization·P_dyn(f) + DRAM energy/byte + link energy/byte
+//
+// parameterized per device from published board powers, and integrated
+// over the simulated activity (kernel time at the active clock, DRAM
+// traffic, PCIe traffic) to give energy-to-solution.
+package power
+
+import (
+	"fmt"
+
+	"hetbench/internal/sim/device"
+)
+
+// Profile holds one device's power parameters.
+type Profile struct {
+	// IdleW is board power doing nothing.
+	IdleW float64
+	// DynamicW is the additional power at full utilization at the
+	// catalog core clock (scales as (f/f0)³ with DVFS).
+	DynamicW float64
+	// DRAMPicoJPerByte is DRAM access energy.
+	DRAMPicoJPerByte float64
+}
+
+// Validate reports unusable profiles.
+func (p Profile) Validate() error {
+	if p.IdleW < 0 || p.DynamicW <= 0 || p.DRAMPicoJPerByte < 0 {
+		return fmt.Errorf("power: invalid profile %+v", p)
+	}
+	return nil
+}
+
+// PCIePicoJPerByte is the link energy for discrete-GPU transfers
+// (controller + PHY both ends).
+const PCIePicoJPerByte = 30
+
+// ProfileFor returns published-number-based profiles for the stock
+// devices: the R9 280X is a 250 W board (≈60 W idle); the A10-7850K is a
+// 95 W part sharing ≈15 W idle; GDDR5 costs ≈18 pJ/B, DDR3 ≈12 pJ/B at
+// the device interface.
+func ProfileFor(d *device.Device) Profile {
+	switch d.Kind {
+	case device.KindDiscreteGPU:
+		return Profile{IdleW: 60, DynamicW: 190, DRAMPicoJPerByte: 18}
+	case device.KindIntegratedGPU:
+		return Profile{IdleW: 10, DynamicW: 55, DRAMPicoJPerByte: 12}
+	default: // CPU
+		return Profile{IdleW: 15, DynamicW: 80, DRAMPicoJPerByte: 12}
+	}
+}
+
+// KernelEnergyJ integrates energy over a kernel: busyNs at the given core
+// clock (MHz, against the catalog f0) plus DRAM traffic.
+func (p Profile) KernelEnergyJ(busyNs float64, coreMHz, catalogMHz int, dramBytes float64) float64 {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if busyNs < 0 || dramBytes < 0 {
+		panic(fmt.Sprintf("power: negative activity busy=%g dram=%g", busyNs, dramBytes))
+	}
+	fRatio := float64(coreMHz) / float64(catalogMHz)
+	dyn := p.DynamicW * fRatio * fRatio * fRatio
+	// Watts × ns = nJ; ÷1e9 → J.
+	compute := (p.IdleW + dyn) * busyNs / 1e9
+	dram := p.DRAMPicoJPerByte * dramBytes / 1e12
+	return compute + dram
+}
+
+// TransferEnergyJ is the PCIe energy for moved bytes (zero bytes = zero —
+// idle power during transfers is charged by the host-side accounting).
+func TransferEnergyJ(bytes int64) float64 {
+	if bytes < 0 {
+		panic(fmt.Sprintf("power: negative transfer %d", bytes))
+	}
+	return PCIePicoJPerByte * float64(bytes) / 1e12
+}

@@ -1,0 +1,86 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hetbench/internal/sim/device"
+)
+
+func TestProfilesValidate(t *testing.T) {
+	for _, d := range []*device.Device{device.R9280X(), device.A10_7850K(), device.HostCPU()} {
+		if err := ProfileFor(d).Validate(); err != nil {
+			t.Errorf("%s profile invalid: %v", d.Name, err)
+		}
+	}
+	if err := (Profile{IdleW: -1, DynamicW: 1}).Validate(); err == nil {
+		t.Error("negative idle accepted")
+	}
+	if err := (Profile{IdleW: 1, DynamicW: 0}).Validate(); err == nil {
+		t.Error("zero dynamic accepted")
+	}
+}
+
+func TestKernelEnergyBasics(t *testing.T) {
+	p := ProfileFor(device.R9280X())
+	// 250 W (60 idle + 190 dynamic) for 1 ms = 0.25 J.
+	e := p.KernelEnergyJ(1e6, 925, 925, 0)
+	if math.Abs(e-0.25) > 1e-9 {
+		t.Errorf("energy = %g J, want 0.25", e)
+	}
+	// DVFS: dynamic power scales with the cube of the clock ratio.
+	eHalf := p.KernelEnergyJ(1e6, 462, 925, 0)
+	want := (60 + 190*math.Pow(462.0/925.0, 3)) * 1e-3
+	if math.Abs(eHalf-want) > 1e-9 {
+		t.Errorf("half-clock energy = %g J, want %g", eHalf, want)
+	}
+	// DRAM energy: 1 GB at 18 pJ/B = 0.018 J.
+	eDram := p.KernelEnergyJ(0, 925, 925, 1e9)
+	if math.Abs(eDram-0.018) > 1e-9 {
+		t.Errorf("DRAM energy = %g J, want 0.018", eDram)
+	}
+}
+
+func TestTransferEnergy(t *testing.T) {
+	// 1 GB over PCIe at 30 pJ/B = 0.03 J.
+	if e := TransferEnergyJ(1 << 30); math.Abs(e-0.0322) > 0.001 {
+		t.Errorf("transfer energy = %g J, want ≈0.032", e)
+	}
+	if TransferEnergyJ(0) != 0 {
+		t.Error("zero transfer has energy")
+	}
+}
+
+func TestPanicsOnNegativeActivity(t *testing.T) {
+	p := ProfileFor(device.R9280X())
+	cases := []func(){
+		func() { p.KernelEnergyJ(-1, 925, 925, 0) },
+		func() { p.KernelEnergyJ(1, 925, 925, -1) },
+		func() { TransferEnergyJ(-1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuickEnergyMonotone(t *testing.T) {
+	p := ProfileFor(device.A10_7850K())
+	f := func(a, b uint32) bool {
+		x, y := float64(a), float64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return p.KernelEnergyJ(x, 720, 720, 0) <= p.KernelEnergyJ(y, 720, 720, 0)+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
