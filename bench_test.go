@@ -14,6 +14,7 @@ import (
 	"hetbench/internal/sim"
 	"hetbench/internal/sim/timing"
 	"hetbench/internal/sloc"
+	"hetbench/internal/trace"
 )
 
 // BenchmarkTable1Characteristics measures the Table I workload
@@ -155,4 +156,39 @@ func BenchmarkScalingMPIX(b *testing.B) {
 			b.ReportMetric(last.Efficiency(results[0]), "efficiency-at-32")
 		}
 	}
+}
+
+// BenchmarkTraceOverhead measures the kernel-launch path with tracing
+// disabled (the default: one nil check under the already-held machine
+// mutex) against the same path with a tracer attached. The "off" case is
+// the regression gate: it must match the pre-trace-layer launch cost.
+func BenchmarkTraceOverhead(b *testing.B) {
+	cost := timing.KernelCost{
+		Items: 1 << 16, SPFlops: 32, LoadBytes: 24, StoreBytes: 8,
+		Instrs: 48, MissRate: 0.2, Coalesce: 0.9,
+	}
+	b.Run("off", func(b *testing.B) {
+		m := sim.NewDGPU()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.LaunchKernel(sim.OnAccelerator, "bench", cost)
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		m := sim.NewDGPU()
+		m.SetTracer(trace.New())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i&8191 == 8191 {
+				// Bound span-slice growth so the benchmark measures the
+				// emission path, not an ever-growing append target.
+				b.StopTimer()
+				m.SetTracer(trace.New())
+				b.StartTimer()
+			}
+			m.LaunchKernel(sim.OnAccelerator, "bench", cost)
+		}
+	})
 }

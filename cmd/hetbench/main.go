@@ -6,9 +6,11 @@
 //	hetbench -list
 //	hetbench -exp fig8 [-scale small|default|paper]
 //	hetbench -exp all  [-scale default]
+//	hetbench -exp fig9 -trace out.json   # capture a Chrome/Perfetto trace
 //
 // Experiment ids: table1 table2 table3 table4 fig7 fig8 fig9 fig10 fig11
-// hc tiles dataregion, or "all".
+// hc tiles dataregion gridtype scaling profile roofline energy trace, or
+// "all".
 package main
 
 import (
@@ -17,11 +19,14 @@ import (
 	"os"
 
 	"hetbench/internal/harness"
+	"hetbench/internal/sim"
+	"hetbench/internal/trace"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	scaleFlag := flag.String("scale", "default", "problem scale: small | default | paper")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (open in Perfetto)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -40,21 +45,48 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *exp == "all" {
-		if err := harness.RunAll(scale, os.Stdout); err != nil {
+	// With -trace, every machine the experiment constructs attaches to one
+	// shared tracer; the combined span set is written on exit.
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New()
+		sim.SetDefaultTracer(tracer)
+		defer sim.SetDefaultTracer(nil)
+	}
+
+	run := func() error {
+		if *exp == "all" {
+			return harness.RunAll(scale, os.Stdout)
+		}
+		e, ok := reg[*exp]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *exp)
+			os.Exit(2)
+		}
+		fmt.Printf("=== %s — %s ===\n", e.ID, e.Title)
+		return e.Run(scale, os.Stdout)
+	}
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		return
-	}
-	e, ok := reg[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *exp)
-		os.Exit(2)
-	}
-	fmt.Printf("=== %s — %s ===\n", e.ID, e.Title)
-	if err := e.Run(scale, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		if err := trace.WriteChrome(f, tracer); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d spans, %d machines) — open at https://ui.perfetto.dev\n",
+			*traceOut, tracer.Len(), len(tracer.Processes()))
 	}
 }

@@ -77,7 +77,7 @@ func TestEnergyConservation(t *testing.T) {
 		s.Fx[i], s.Fy[i], s.Fz[i], s.PE[i] = fx, fy, fz, pe
 	}
 	e0 := s.TotalEnergy()
-	p.run(s, specs, &ompDriver{rt: openmp.New(m)}, false)
+	p.run(m, s, specs, &ompDriver{rt: openmp.New(m)}, false)
 	e1 := s.TotalEnergy()
 	drift := math.Abs(e1-e0) / math.Abs(e0)
 	if drift > 0.01 {
@@ -157,7 +157,7 @@ func TestTilingAblation(t *testing.T) {
 		ctx := opencl.NewContext(m)
 		q := ctx.NewQueue()
 		cells := ctx.CreateBuffer("comd.cells", p.groups(s)[3].bytes)
-		p.run(s, specs, &clDriver{q: q, cells: cells}, tiled)
+		p.run(m, s, specs, &clDriver{q: q, cells: cells}, tiled)
 		return m.KernelNs()
 	}
 	flat := run(false)

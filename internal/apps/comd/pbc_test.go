@@ -86,7 +86,7 @@ func TestPositionsStayInBox(t *testing.T) {
 	m := sim.NewAPU()
 	s := NewState(p.Cfg)
 	specs := s.Specs(m, p.Precision)
-	p.run(s, specs, &ompDriver{rt: openmp.New(m)}, false)
+	p.run(m, s, specs, &ompDriver{rt: openmp.New(m)}, false)
 	for i := range s.X {
 		if s.X[i] < 0 || s.X[i] >= s.Lx || s.Y[i] < 0 || s.Y[i] >= s.Ly || s.Z[i] < 0 || s.Z[i] >= s.Lz {
 			t.Fatalf("atom %d escaped the box: (%g,%g,%g)", i, s.X[i], s.Y[i], s.Z[i])

@@ -165,8 +165,9 @@ func (d *accDriver) launch(spec modelapi.KernelSpec, n int, functional bool, bod
 }
 func (d *accDriver) uploadCells(bytes int64) { d.rt.UpdateDevice("comd.cells", bytes) }
 
-// run executes the velocity-Verlet loop under the given driver.
-func (p *Problem) run(s *State, specs map[string]modelapi.KernelSpec, d driver, tiled bool) {
+// run executes the velocity-Verlet loop under the given driver. Each
+// timestep is wrapped in an iteration span on the machine's tracer.
+func (p *Problem) run(m *sim.Machine, s *State, specs map[string]modelapi.KernelSpec, d driver, tiled bool) {
 	force, velHalf, position := p.bodies(s, tiled)
 	n := len(s.X)
 	fn := p.Cfg.functionalIters()
@@ -176,6 +177,7 @@ func (p *Problem) run(s *State, specs map[string]modelapi.KernelSpec, d driver, 
 	d.launch(specs[KForce], n, true, force)
 	for it := 0; it < p.Cfg.Iters; it++ {
 		functional := it < fn
+		sp := m.StartIteration(it)
 		d.launch(specs[KVelocity], n, functional, velHalf)
 		d.launch(specs[KPosition], n, functional, position)
 		if functional && it%rebuildEvery == rebuildEvery-1 {
@@ -184,6 +186,7 @@ func (p *Problem) run(s *State, specs map[string]modelapi.KernelSpec, d driver, 
 		}
 		d.launch(specs[KForce], n, functional, force)
 		d.launch(specs[KVelocity], n, functional, velHalf)
+		sp.End()
 	}
 }
 
@@ -199,7 +202,7 @@ func (p *Problem) result(m *sim.Machine, model modelapi.Name, s *State) appcore.
 func (p *Problem) RunOpenMP(m *sim.Machine) appcore.Result {
 	m.ResetClock()
 	s := NewState(p.Cfg)
-	p.run(s, s.Specs(m, p.Precision), &ompDriver{rt: openmp.New(m)}, false)
+	p.run(m, s, s.Specs(m, p.Precision), &ompDriver{rt: openmp.New(m)}, false)
 	return p.result(m, modelapi.OpenMP, s)
 }
 
@@ -217,7 +220,7 @@ func (p *Problem) RunOpenCL(m *sim.Machine) appcore.Result {
 			cells = buf
 		}
 	}
-	p.run(s, s.Specs(m, p.Precision), &clDriver{q: q, cells: cells}, true)
+	p.run(m, s, s.Specs(m, p.Precision), &clDriver{q: q, cells: cells}, true)
 	q.EnqueueReadBuffer(ctx.CreateBuffer("comd.force", p.groups(s)[2].bytes))
 	q.Finish()
 	return p.result(m, modelapi.OpenCL, s)
@@ -238,7 +241,7 @@ func (p *Problem) RunOpenCLFlat(m *sim.Machine) appcore.Result {
 			cells = buf
 		}
 	}
-	p.run(s, s.Specs(m, p.Precision), &clDriver{q: q, cells: cells}, false)
+	p.run(m, s, s.Specs(m, p.Precision), &clDriver{q: q, cells: cells}, false)
 	return p.result(m, modelapi.OpenCL, s)
 }
 
@@ -257,7 +260,7 @@ func (p *Problem) RunCppAMP(m *sim.Machine) appcore.Result {
 			cells = v
 		}
 	}
-	p.run(s, s.Specs(m, p.Precision), &ampDriver{rt: rt, views: views, cells: cells}, true)
+	p.run(m, s, s.Specs(m, p.Precision), &ampDriver{rt: rt, views: views, cells: cells}, true)
 	views[2].Synchronize() // forces + energies
 	return p.result(m, modelapi.CppAMP, s)
 }
@@ -274,13 +277,16 @@ func (p *Problem) RunOpenACC(m *sim.Machine) appcore.Result {
 		clauses = append(clauses, openacc.Copy(g.name, g.bytes))
 	}
 	region := rt.Data(clauses...)
-	p.run(s, s.Specs(m, p.Precision), &accDriver{rt: rt}, false)
+	p.run(m, s, s.Specs(m, p.Precision), &accDriver{rt: rt}, false)
 	region.End()
 	return p.result(m, modelapi.OpenACC, s)
 }
 
-// Run dispatches by model name.
+// Run dispatches by model name, wrapping the whole run in a trace span.
 func (p *Problem) Run(m *sim.Machine, model modelapi.Name) appcore.Result {
+	m.ResetClock()
+	sp := m.StartRun(AppName + "/" + string(model))
+	defer sp.End()
 	switch model {
 	case modelapi.OpenMP:
 		return p.RunOpenMP(m)

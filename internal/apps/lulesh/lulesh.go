@@ -238,12 +238,15 @@ func (d *ampDriver) setFunctional(f bool) { d.functional = f }
 func (d *accDriver) setFunctional(f bool) { d.functional = f }
 
 // iterate runs the timestep loop: the leading FunctionalIters steps
-// execute the physics, the rest replay measured kernel costs.
-func (p *Problem) iterate(st *stepper, d runDriver) {
+// execute the physics, the rest replay measured kernel costs. Each
+// timestep is wrapped in an iteration span on the machine's tracer.
+func (p *Problem) iterate(m *sim.Machine, st *stepper, d runDriver) {
 	fn := p.Cfg.functionalIters()
 	for it := 0; it < p.Cfg.Iters; it++ {
 		d.setFunctional(it < fn)
+		sp := m.StartIteration(it)
 		st.step(d)
+		sp.End()
 	}
 }
 
@@ -261,7 +264,7 @@ func (p *Problem) RunOpenMP(m *sim.Machine) appcore.Result {
 	s := NewState(p.Mesh)
 	st := newStepper(s, p.Precision)
 	d := &ompDriver{rt: openmp.New(m), specs: p.specs(m)}
-	p.iterate(st, d)
+	p.iterate(m, st, d)
 	return p.result(m, modelapi.OpenMP, s)
 }
 
@@ -289,7 +292,7 @@ func (p *Problem) RunOpenCL(m *sim.Machine) appcore.Result {
 		}
 	}
 	d := &clDriver{q: q, specs: p.specs(m), partials: partials}
-	p.iterate(st, d)
+	p.iterate(m, st, d)
 	// Final results home.
 	q.EnqueueReadBuffer(ctx.CreateBuffer("lulesh.elem", p.group("lulesh.elem").bytes))
 	q.EnqueueReadBuffer(ctx.CreateBuffer("lulesh.nodal", p.group("lulesh.nodal").bytes))
@@ -322,7 +325,7 @@ func (p *Problem) RunCppAMP(m *sim.Machine) appcore.Result {
 		partials:   views["lulesh.partials"],
 		fallback:   !m.Unified(),
 	}
-	p.iterate(st, d)
+	p.iterate(m, st, d)
 	views["lulesh.elem"].Synchronize()
 	views["lulesh.nodal"].Synchronize()
 	return p.result(m, modelapi.CppAMP, s)
@@ -350,7 +353,7 @@ func (p *Problem) RunOpenACC(m *sim.Machine) appcore.Result {
 	}
 	region := rt.Data(clauses...)
 	d := &accDriver{rt: rt, specs: p.specs(m), partBytes: p.group("lulesh.partials").bytes}
-	p.iterate(st, d)
+	p.iterate(m, st, d)
 	region.End()
 	return p.result(m, modelapi.OpenACC, s)
 }
@@ -390,7 +393,7 @@ func (p *Problem) RunHC(m *sim.Machine) appcore.Result {
 		}
 	}
 	d := &hcDriver{rt: rt, specs: p.specs(m), partBytes: p.group("lulesh.partials").bytes}
-	p.iterate(st, d)
+	p.iterate(m, st, d)
 	rt.Wait()
 	rt.CopyBack("lulesh.elem", p.group("lulesh.elem").bytes)
 	rt.CopyBack("lulesh.nodal", p.group("lulesh.nodal").bytes)
@@ -398,8 +401,11 @@ func (p *Problem) RunHC(m *sim.Machine) appcore.Result {
 	return r
 }
 
-// Run dispatches by model name.
+// Run dispatches by model name, wrapping the whole run in a trace span.
 func (p *Problem) Run(m *sim.Machine, model modelapi.Name) appcore.Result {
+	m.ResetClock()
+	sp := m.StartRun(AppName + "/" + string(model))
+	defer sp.End()
 	switch model {
 	case modelapi.OpenMP:
 		return p.RunOpenMP(m)

@@ -277,29 +277,37 @@ func (p *Problem) solve(m *sim.Machine, d driver, specs map[string]modelapi.Kern
 		functional := it < fn
 		iters++
 
-		d.launch(specs[KSpMV], n, functional, spmv)
-		d.launch(specs[KDot], nPart, functional, dotBody(pv, ap))
-		d.readback(partBytes)
-		pap := hostSum()
-		if pap == 0 {
-			break
-		}
-		alpha := rr / pap
+		sp := m.StartIteration(it)
+		converged := func() bool {
+			d.launch(specs[KSpMV], n, functional, spmv)
+			d.launch(specs[KDot], nPart, functional, dotBody(pv, ap))
+			d.readback(partBytes)
+			pap := hostSum()
+			if pap == 0 {
+				return true
+			}
+			alpha := rr / pap
 
-		d.launch(specs[KAxpy], n, functional, axpyBody(func(i int) { x[i] += alpha * pv[i] }))
-		d.launch(specs[KAxpy], n, functional, axpyBody(func(i int) { r[i] -= alpha * ap[i] }))
+			d.launch(specs[KAxpy], n, functional, axpyBody(func(i int) { x[i] += alpha * pv[i] }))
+			d.launch(specs[KAxpy], n, functional, axpyBody(func(i int) { r[i] -= alpha * ap[i] }))
 
-		d.launch(specs[KDot], nPart, functional, dotBody(r, r))
-		d.readback(partBytes)
-		rrNew := hostSum()
+			d.launch(specs[KDot], nPart, functional, dotBody(r, r))
+			d.readback(partBytes)
+			rrNew := hostSum()
 
-		if functional && p.Cfg.Tol > 0 && math.Sqrt(rrNew) <= p.Cfg.Tol*math.Sqrt(rr0) {
+			if functional && p.Cfg.Tol > 0 && math.Sqrt(rrNew) <= p.Cfg.Tol*math.Sqrt(rr0) {
+				rr = rrNew
+				return true
+			}
+			beta := rrNew / rr
 			rr = rrNew
+			d.launch(specs[KAxpy], n, functional, axpyBody(func(i int) { pv[i] = r[i] + beta*pv[i] }))
+			return false
+		}()
+		sp.End()
+		if converged {
 			break
 		}
-		beta := rrNew / rr
-		rr = rrNew
-		d.launch(specs[KAxpy], n, functional, axpyBody(func(i int) { pv[i] = r[i] + beta*pv[i] }))
 	}
 
 	sum := 0.0
@@ -440,6 +448,9 @@ func (p *Problem) RunOpenACCConservative(m *sim.Machine) SolveResult {
 
 // Run dispatches by model name.
 func (p *Problem) Run(m *sim.Machine, model modelapi.Name) SolveResult {
+	m.ResetClock()
+	sp := m.StartRun(AppName + "/" + string(model))
+	defer sp.End()
 	switch model {
 	case modelapi.OpenMP:
 		return p.RunOpenMP(m)

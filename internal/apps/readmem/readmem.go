@@ -196,6 +196,9 @@ func (p *Problem) RunOpenACC(m *sim.Machine) appcore.Result {
 
 // Run dispatches by model name.
 func (p *Problem) Run(m *sim.Machine, model modelapi.Name) appcore.Result {
+	m.ResetClock()
+	sp := m.StartRun(AppName + "/" + string(model))
+	defer sp.End()
 	switch model {
 	case modelapi.OpenMP:
 		return p.RunOpenMP(m)

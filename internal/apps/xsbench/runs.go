@@ -160,6 +160,9 @@ func (p *Problem) RunHC(m *sim.Machine) appcore.Result {
 
 // Run dispatches by model name.
 func (p *Problem) Run(m *sim.Machine, model modelapi.Name) appcore.Result {
+	m.ResetClock()
+	sp := m.StartRun(AppName + "/" + string(model))
+	defer sp.End()
 	switch model {
 	case modelapi.OpenMP:
 		return p.RunOpenMP(m)

@@ -43,8 +43,10 @@ func ParsePrecision(s string) (timing.Precision, error) {
 func RunApp(w io.Writer, appName string, machines []func() *sim.Machine,
 	run func(m *sim.Machine, model modelapi.Name) appcore.Result) error {
 
+	// The OpenMP baseline is machine-independent (it always runs on the
+	// APU's CPU cores), so compute it once, not once per machine.
+	base := run(sim.NewAPU(), modelapi.OpenMP)
 	for _, mk := range machines {
-		base := run(sim.NewAPU(), modelapi.OpenMP)
 		machine := mk()
 		t := report.NewTable(
 			fmt.Sprintf("%s on %s (baseline: 4-core OpenMP, %.3f ms)", appName, machine.Name(), base.ElapsedNs/1e6),

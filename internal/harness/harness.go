@@ -136,6 +136,8 @@ func Registry() map[string]Experiment {
 			"arithmetic intensity vs attainable throughput for all five apps on the dGPU", RunRoofline},
 		{"energy", "Extension: energy to solution",
 			"device energy (idle + DVFS dynamic + DRAM + PCIe) per app, APU vs dGPU", RunEnergy},
+		{"trace", "Extension: structured trace timelines",
+			"LULESH under each GPU model on the dGPU: per-iteration Gantt charts, span aggregates and run counters (exposes the C++ AMP CPU-fallback kernel)", RunTrace},
 	}
 	m := make(map[string]Experiment, len(exps))
 	for _, e := range exps {
@@ -156,7 +158,7 @@ func IDs() []string {
 
 // RunAll executes every experiment in order.
 func RunAll(scale Scale, w io.Writer) error {
-	order := []string{"table1", "table2", "table3", "table4", "fig7", "fig8", "fig9", "fig10", "fig11", "hc", "tiles", "dataregion", "gridtype", "scaling", "profile", "roofline", "energy"}
+	order := []string{"table1", "table2", "table3", "table4", "fig7", "fig8", "fig9", "fig10", "fig11", "hc", "tiles", "dataregion", "gridtype", "scaling", "profile", "roofline", "energy", "trace"}
 	reg := Registry()
 	for _, id := range order {
 		e := reg[id]

@@ -13,7 +13,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	want := []string{"table1", "table2", "table3", "table4", "fig7", "fig8", "fig9", "fig10", "fig11", "hc", "tiles", "dataregion", "gridtype", "scaling", "profile", "roofline", "energy"}
+	want := []string{"table1", "table2", "table3", "table4", "fig7", "fig8", "fig9", "fig10", "fig11", "hc", "tiles", "dataregion", "gridtype", "scaling", "profile", "roofline", "energy", "trace"}
 	for _, id := range want {
 		e, ok := reg[id]
 		if !ok {
@@ -309,32 +309,44 @@ func TestRunAppRenders(t *testing.T) {
 }
 
 func TestProfileData(t *testing.T) {
-	rows, total := ProfileData(ScaleSmall, modelapi.CppAMP)
-	if total <= 0 || len(rows) < 10 {
-		t.Fatalf("profile: %d rows, total %g", len(rows), total)
+	p := ProfileData(ScaleSmall, modelapi.CppAMP)
+	if p.KernelNs <= 0 || len(p.Kernels) < 10 {
+		t.Fatalf("profile: %d kernel rows, kernel total %g", len(p.Kernels), p.KernelNs)
 	}
-	// Shares sum to ≈1 and are sorted descending.
-	sum := 0.0
-	for i, r := range rows {
-		sum += r.Share
-		if i > 0 && r.TotalMs > rows[i-1].TotalMs+1e-9 {
-			t.Error("profile rows not sorted by time")
-			break
+	// Within each class, shares sum to ≈1 and rows sort descending.
+	for _, rows := range [][]KernelProfileRow{p.Kernels, p.Transfers} {
+		sum := 0.0
+		for i, r := range rows {
+			sum += r.Share
+			if i > 0 && r.TotalMs > rows[i-1].TotalMs+1e-9 {
+				t.Error("profile rows not sorted by time")
+				break
+			}
+		}
+		if len(rows) > 0 && (sum < 0.999 || sum > 1.001) {
+			t.Errorf("profile shares sum to %g", sum)
 		}
 	}
-	if sum < 0.999 || sum > 1.001 {
-		t.Errorf("profile shares sum to %g", sum)
-	}
-	// Under C++ AMP on the dGPU, the h2d transfer entry (the fallback
-	// kernel's per-iteration round trips) must rank near the top.
-	foundTransfer := false
-	for _, r := range rows[:5] {
-		if r.Name == "(transfer h2d)" || r.Name == "(transfer d2h)" {
-			foundTransfer = true
+	// Kernel rows must not contain transfers, and vice versa.
+	for _, r := range p.Kernels {
+		if r.Kind != "kernel" {
+			t.Errorf("kernel row %q has kind %s", r.Name, r.Kind)
 		}
 	}
-	if !foundTransfer {
-		t.Error("AMP profile top-5 does not surface the transfer cost")
+	// Under C++ AMP on the dGPU, the CPU-fallback kernel must dominate the
+	// kernel profile and its per-iteration round trips must make the
+	// transfer class substantial relative to kernel time.
+	foundFallback := false
+	for _, r := range p.Kernels[:3] {
+		if strings.Contains(r.Name, "(cpu-fallback)") {
+			foundFallback = true
+		}
+	}
+	if !foundFallback {
+		t.Error("AMP kernel profile top-3 does not surface the CPU-fallback kernel")
+	}
+	if len(p.Transfers) == 0 || p.TransferNs <= 0 {
+		t.Fatal("AMP profile records no transfers")
 	}
 }
 

@@ -3,86 +3,100 @@ package harness
 import (
 	"fmt"
 	"io"
-	"sort"
 
 	"hetbench/internal/models/modelapi"
 	"hetbench/internal/report"
 	"hetbench/internal/sim"
 	"hetbench/internal/sim/timing"
+	"hetbench/internal/trace"
 )
 
-// KernelProfileRow is one kernel's aggregate from the event log.
+// KernelProfileRow is one name's aggregate from the trace. Share is the
+// fraction of that row's own resource class — kernel time for kernels,
+// transfer time for transfers — so compute and the PCIe link are not
+// conflated into one meaningless total.
 type KernelProfileRow struct {
 	Name    string
+	Kind    trace.Kind
 	Calls   int
 	TotalMs float64
 	Bound   string
 	Share   float64
 }
 
-// ProfileData runs LULESH under one model on the dGPU with the event log
-// enabled and aggregates per-kernel time — the drill-down that exposes,
-// e.g., the C++ AMP CPU-fallback kernel eating the run.
-func ProfileData(scale Scale, model modelapi.Name) ([]KernelProfileRow, float64) {
-	w := newWorkloads(scale, timing.Double)
-	m := sim.NewDGPU()
-	m.EnableEventLog(true)
-	w.Lulesh.Run(m, model)
-
-	type agg struct {
-		calls int
-		ns    float64
-		bound string
-	}
-	byName := map[string]*agg{}
-	var totalNs float64
-	for _, ev := range m.Events() {
-		key := string(ev.Kind)
-		if ev.Kind == sim.EvKernel {
-			key = ev.Name
-		} else {
-			key = "(transfer " + string(ev.Kind) + ")"
-		}
-		a := byName[key]
-		if a == nil {
-			a = &agg{}
-			byName[key] = a
-		}
-		a.calls++
-		a.ns += ev.TimeNs
-		if ev.Bound != "" {
-			a.bound = ev.Bound
-		}
-		totalNs += ev.TimeNs
-	}
-
-	rows := make([]KernelProfileRow, 0, len(byName))
-	for name, a := range byName {
-		rows = append(rows, KernelProfileRow{
-			Name: name, Calls: a.calls, TotalMs: a.ns / 1e6, Bound: a.bound,
-			Share: a.ns / totalNs,
-		})
-	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].TotalMs > rows[j].TotalMs })
-	return rows, totalNs
+// Profile is the per-kernel/per-transfer drill-down of one traced run.
+type Profile struct {
+	Kernels    []KernelProfileRow
+	Transfers  []KernelProfileRow
+	KernelNs   float64
+	TransferNs float64
 }
 
-// RunProfile renders the per-kernel profiles for all three GPU models.
+func profileRows(aggs []trace.Agg) []KernelProfileRow {
+	total := trace.TotalNs(aggs)
+	rows := make([]KernelProfileRow, 0, len(aggs))
+	for _, a := range aggs {
+		share := 0.0
+		if total > 0 {
+			share = a.TotalNs / total
+		}
+		rows = append(rows, KernelProfileRow{
+			Name: a.Name, Kind: a.Kind, Calls: a.Calls,
+			TotalMs: a.TotalNs / 1e6, Bound: a.Bound, Share: share,
+		})
+	}
+	return rows
+}
+
+// ProfileData runs LULESH under one model on the dGPU with a fresh tracer
+// attached and aggregates per-kernel and per-transfer time separately —
+// the drill-down that exposes, e.g., the C++ AMP CPU-fallback kernel and
+// the per-iteration round trips it induces.
+func ProfileData(scale Scale, model modelapi.Name) Profile {
+	w := newWorkloads(scale, timing.Double)
+	m := sim.NewDGPU()
+	m.SetTracer(trace.New())
+	w.Lulesh.Run(m, model)
+
+	spans := m.Tracer().Spans()
+	kernels := trace.Aggregate(spans, trace.KindKernel)
+	transfers := trace.Aggregate(spans, trace.KindTransfer)
+	return Profile{
+		Kernels:    profileRows(kernels),
+		Transfers:  profileRows(transfers),
+		KernelNs:   trace.TotalNs(kernels),
+		TransferNs: trace.TotalNs(transfers),
+	}
+}
+
+func profileTable(w io.Writer, title string, rows []KernelProfileRow, limit int) error {
+	t := report.NewTable(title, "Name", "Calls", "Total ms", "Share", "Bound")
+	if len(rows) < limit {
+		limit = len(rows)
+	}
+	for _, r := range rows[:limit] {
+		t.AddRowf(r.Name, r.Calls, fmt.Sprintf("%.3f", r.TotalMs), fmt.Sprintf("%.1f%%", r.Share*100), r.Bound)
+	}
+	_, err := t.WriteTo(w)
+	return err
+}
+
+// RunProfile renders the per-kernel and per-transfer profiles for all
+// three GPU models.
 func RunProfile(scale Scale, w io.Writer) error {
 	for _, model := range modelapi.All() {
-		rows, totalNs := ProfileData(scale, model)
-		t := report.NewTable(
-			fmt.Sprintf("LULESH on the R9 280X under %s — top kernels (total %.2f ms)", model, totalNs/1e6),
-			"Kernel", "Calls", "Total ms", "Share", "Bound")
-		limit := 10
-		if len(rows) < limit {
-			limit = len(rows)
-		}
-		for _, r := range rows[:limit] {
-			t.AddRowf(r.Name, r.Calls, fmt.Sprintf("%.3f", r.TotalMs), fmt.Sprintf("%.1f%%", r.Share*100), r.Bound)
-		}
-		if _, err := t.WriteTo(w); err != nil {
+		p := ProfileData(scale, model)
+		if err := profileTable(w,
+			fmt.Sprintf("LULESH on the R9 280X under %s — top kernels (kernel total %.2f ms)", model, p.KernelNs/1e6),
+			p.Kernels, 10); err != nil {
 			return err
+		}
+		if len(p.Transfers) > 0 {
+			if err := profileTable(w,
+				fmt.Sprintf("LULESH on the R9 280X under %s — transfers (transfer total %.2f ms)", model, p.TransferNs/1e6),
+				p.Transfers, 5); err != nil {
+				return err
+			}
 		}
 		fmt.Fprintln(w)
 	}

@@ -1,0 +1,184 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"hetbench/internal/apps/appcore"
+	"hetbench/internal/models/modelapi"
+	"hetbench/internal/report"
+	"hetbench/internal/sim"
+	"hetbench/internal/sim/timing"
+	"hetbench/internal/trace"
+)
+
+// ModelTrace is one model's fully-traced LULESH run on the dGPU.
+type ModelTrace struct {
+	Model  modelapi.Name
+	Result appcore.Result
+	Tracer *trace.Tracer
+}
+
+// TraceData runs LULESH under each GPU model on the dGPU with a fresh
+// tracer per model, so the three span sets can be compared side by side.
+func TraceData(scale Scale) []ModelTrace {
+	w := newWorkloads(scale, timing.Double)
+	out := make([]ModelTrace, 0, len(modelapi.All()))
+	for _, model := range modelapi.All() {
+		m := sim.NewDGPU()
+		t := trace.New()
+		m.SetTracer(t)
+		res := w.Lulesh.Run(m, model)
+		out = append(out, ModelTrace{Model: model, Result: res, Tracer: t})
+	}
+	return out
+}
+
+// lastIteration returns the last completed iteration span, the timeline's
+// representative steady-state window (the leading functional iterations
+// pay one-time staging; the replayed tail is what the paper measures).
+func lastIteration(spans []trace.Span) (trace.Span, bool) {
+	var best trace.Span
+	found := false
+	for _, s := range spans {
+		if s.Kind != trace.KindIteration {
+			continue
+		}
+		if !found || s.StartNs > best.StartNs {
+			best = s
+			found = true
+		}
+	}
+	return best, found
+}
+
+// timelineBars are the spans rendered per iteration window; beyond this
+// the ASCII chart stops being readable.
+const timelineBars = 20
+
+// iterationTimeline renders one iteration's kernel/transfer spans as an
+// ASCII Gantt chart, longest operations first when clipping.
+func iterationTimeline(title string, it trace.Span, spans []trace.Span) *report.Timeline {
+	var ops []trace.Span
+	for _, s := range spans {
+		if s.Kind != trace.KindKernel && s.Kind != trace.KindTransfer {
+			continue
+		}
+		if s.StartNs < it.StartNs || s.StartNs >= it.EndNs() {
+			continue
+		}
+		ops = append(ops, s)
+	}
+	if len(ops) > timelineBars {
+		sort.SliceStable(ops, func(i, j int) bool { return ops[i].DurNs > ops[j].DurNs })
+		ops = ops[:timelineBars]
+	}
+	ops = trace.ByStart(ops)
+	tl := report.NewTimeline(title, it.StartNs, it.EndNs())
+	for _, s := range ops {
+		label := s.Name
+		if s.Dir != "" {
+			label = fmt.Sprintf("%s (%s, %s)", s.Name, s.Dir, report.Bytes(s.Bytes))
+		}
+		tl.Add(s.Track, label, s.StartNs, s.DurNs)
+	}
+	return tl
+}
+
+// RunTrace is the trace experiment: LULESH under all three GPU models on
+// the R9 280X, each rendered as a representative-iteration timeline plus
+// aggregate kernel/transfer tables and the run's counter registry. The
+// C++ AMP timeline shows the CPU-fallback kernel and the per-iteration
+// view round trips it induces dominating the step.
+func RunTrace(scale Scale, w io.Writer) error {
+	for _, mt := range TraceData(scale) {
+		spans := mt.Tracer.Spans()
+		fmt.Fprintf(w, "--- LULESH on the R9 280X under %s: %.3f ms elapsed (kernel %.3f ms, transfer %.3f ms) ---\n\n",
+			mt.Model, mt.Result.ElapsedNs/1e6, mt.Result.KernelNs/1e6, mt.Result.TransferNs/1e6)
+
+		if it, ok := lastIteration(spans); ok {
+			tl := iterationTimeline(
+				fmt.Sprintf("%s — iteration %q (top %d operations)", mt.Model, it.Name, timelineBars),
+				it, spans)
+			if _, err := tl.WriteTo(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+
+		kernels := trace.Aggregate(spans, trace.KindKernel)
+		if err := aggTable(w, fmt.Sprintf("%s — kernels by total time", mt.Model), kernels, 8); err != nil {
+			return err
+		}
+		if transfers := trace.Aggregate(spans, trace.KindTransfer); len(transfers) > 0 {
+			if err := aggTable(w, fmt.Sprintf("%s — transfers by total time", mt.Model), transfers, 5); err != nil {
+				return err
+			}
+		}
+
+		if err := counterTable(w, fmt.Sprintf("%s — run counters", mt.Model), mt.Tracer.Metrics()); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func aggTable(w io.Writer, title string, aggs []trace.Agg, limit int) error {
+	total := trace.TotalNs(aggs)
+	t := report.NewTable(title, "Name", "Calls", "Total ms", "Share", "Bytes", "Bound")
+	if len(aggs) < limit {
+		limit = len(aggs)
+	}
+	for _, a := range aggs[:limit] {
+		share := 0.0
+		if total > 0 {
+			share = a.TotalNs / total
+		}
+		t.AddRowf(a.Name, a.Calls,
+			fmt.Sprintf("%.3f", a.TotalNs/1e6),
+			fmt.Sprintf("%.1f%%", share*100),
+			report.Bytes(a.Bytes), a.Bound)
+	}
+	_, err := t.WriteTo(w)
+	return err
+}
+
+// counterRows picks the registry counters worth a table row, in
+// presentation order.
+var counterRows = []struct{ name, label, unit string }{
+	{trace.CtrKernelLaunches, "kernel launches", ""},
+	{trace.CtrKernelNs, "kernel time", "ms"},
+	{trace.CtrTransferCount, "transfers", ""},
+	{trace.CtrTransferNs, "transfer time", "ms"},
+	{trace.CtrBytesH2D, "bytes h2d", "B"},
+	{trace.CtrBytesD2H, "bytes d2h", "B"},
+	{trace.CtrDRAMBytes, "DRAM traffic", "B"},
+	{trace.CtrLDSBytes, "LDS traffic", "B"},
+	{trace.CtrEnergyJ, "energy", "J"},
+}
+
+func counterTable(w io.Writer, title string, reg *trace.Registry) error {
+	t := report.NewTable(title, "Counter", "Value")
+	for _, c := range counterRows {
+		v := reg.Get(c.name)
+		if v == 0 {
+			continue
+		}
+		var val string
+		switch c.unit {
+		case "ms":
+			val = fmt.Sprintf("%.3f ms", v/1e6)
+		case "B":
+			val = report.Bytes(int64(v))
+		case "J":
+			val = fmt.Sprintf("%.4f J", v)
+		default:
+			val = fmt.Sprintf("%.0f", v)
+		}
+		t.AddRowf(c.label, val)
+	}
+	_, err := t.WriteTo(w)
+	return err
+}

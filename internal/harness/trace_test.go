@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"hetbench/internal/models/modelapi"
+	"hetbench/internal/sim"
+	"hetbench/internal/sim/timing"
+	"hetbench/internal/trace"
+)
+
+// The counter registry must agree with the Machine's legacy accumulators
+// across a Figure 8-style sweep (every app × GPU model on the APU at
+// small scale): the two are independent tallies of the same virtual clock.
+func TestRegistryMatchesMachineCounters(t *testing.T) {
+	w := newWorkloads(ScaleSmall, timing.Double)
+	for _, r := range w.runners() {
+		for _, model := range modelapi.All() {
+			m := sim.NewAPU()
+			tr := trace.New()
+			m.SetTracer(tr)
+			r.run(m, model)
+
+			reg := tr.Metrics()
+			if got, want := reg.Get(trace.CtrKernelNs), m.KernelNs(); !approxEq(got, want) {
+				t.Errorf("%s/%s: kernel.ns = %g, machine says %g", r.name, model, got, want)
+			}
+			if got, want := reg.Get(trace.CtrTransferNs), m.TransferNs(); !approxEq(got, want) {
+				t.Errorf("%s/%s: transfer.ns = %g, machine says %g", r.name, model, got, want)
+			}
+			if m.KernelNs() > 0 && reg.Get(trace.CtrKernelLaunches) == 0 {
+				t.Errorf("%s/%s: kernel time with no recorded launches", r.name, model)
+			}
+		}
+	}
+}
+
+func approxEq(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-6*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// The trace experiment must surface the AMP CPU-fallback kernel and its
+// induced PCIe round trips in the rendered timelines.
+func TestRunTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunTrace(ScaleSmall, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"OpenCL", "C++ AMP", "OpenACC", // all three models rendered
+		"(cpu-fallback)",  // the fallback kernel is visible
+		"accelerator",     // timeline tracks
+		"pcie",            //
+		"run counters",    // registry table
+		"kernel launches", //
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q", want)
+		}
+	}
+}
+
+// TraceData gives each model its own tracer with a full span hierarchy:
+// run → iteration → kernel/transfer.
+func TestTraceData(t *testing.T) {
+	data := TraceData(ScaleSmall)
+	if len(data) != len(modelapi.All()) {
+		t.Fatalf("TraceData returned %d models", len(data))
+	}
+	for _, mt := range data {
+		spans := mt.Tracer.Spans()
+		kinds := map[trace.Kind]int{}
+		for _, s := range spans {
+			kinds[s.Kind]++
+		}
+		if kinds[trace.KindRun] != 1 {
+			t.Errorf("%s: run spans = %d, want 1", mt.Model, kinds[trace.KindRun])
+		}
+		if kinds[trace.KindIteration] == 0 || kinds[trace.KindKernel] == 0 {
+			t.Errorf("%s: span kinds %v lack iterations/kernels", mt.Model, kinds)
+		}
+		// Iteration spans must parent into the run span.
+		var runID uint64
+		for _, s := range spans {
+			if s.Kind == trace.KindRun {
+				runID = s.ID
+			}
+		}
+		for _, s := range spans {
+			if s.Kind == trace.KindIteration && s.Parent != runID {
+				t.Errorf("%s: iteration %q parent = %d, want run %d", mt.Model, s.Name, s.Parent, runID)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimelineRender(t *testing.T) {
+	tl := NewTimeline("iteration 7", 0, 1e6)
+	tl.Add("accelerator", "kernelA", 0, 4e5)
+	tl.Add("accelerator", "kernelB", 4e5, 2e5)
+	tl.Add("pcie", "buf (h2d)", 6e5, 4e5)
+	tl.Add("pcie", "outside", 2e6, 1e5) // clipped: starts past the window
+	out := tl.String()
+
+	if !strings.Contains(out, "iteration 7") {
+		t.Error("title missing")
+	}
+	for _, want := range []string{"kernelA", "kernelB", "buf (h2d)", "accelerator", "pcie"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "outside") {
+		t.Error("bar outside the window not clipped")
+	}
+	// kernelA occupies the window's first 40%: its bar must start at
+	// column 0 and kernelB's after it.
+	lines := strings.Split(out, "\n")
+	var aBar, bBar string
+	for _, l := range lines {
+		if strings.Contains(l, "kernelA") {
+			aBar = l[strings.Index(l, "|"):]
+		}
+		if strings.Contains(l, "kernelB") {
+			bBar = l[strings.Index(l, "|"):]
+		}
+	}
+	if !strings.HasPrefix(aBar, "|#") {
+		t.Errorf("kernelA bar not anchored at window start: %q", aBar)
+	}
+	if strings.HasPrefix(bBar, "|#") {
+		t.Errorf("kernelB bar overlaps window start: %q", bBar)
+	}
+	// Proportionality: kernelA's bar is twice kernelB's.
+	na, nb := strings.Count(aBar, "#"), strings.Count(bBar, "#")
+	if na != 2*nb {
+		t.Errorf("bar widths not proportional: A=%d B=%d", na, nb)
+	}
+}
+
+func TestTimelineEmptyWindow(t *testing.T) {
+	tl := NewTimeline("empty", 5, 5)
+	if out := tl.String(); !strings.Contains(out, "empty window") {
+		t.Errorf("degenerate window render: %q", out)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	for n, want := range map[int64]string{
+		0:       "",
+		512:     "512 B",
+		4096:    "4.0 KiB",
+		3 << 20: "3.0 MiB",
+		5 << 30: "5.0 GiB",
+	} {
+		if got := Bytes(n); got != want {
+			t.Errorf("Bytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

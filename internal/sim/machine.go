@@ -6,15 +6,23 @@
 // Two stock machines mirror the paper's Section V setup: an AMD A10-7850K
 // APU (unified memory, no staging copies) and the same APU hosting an AMD
 // Radeon R9 280X across PCIe.
+//
+// Observability: a Machine emits structured spans and counters into an
+// attached trace.Tracer (see SetTracer and the internal/trace package).
+// The legacy Event log is a thin view over those spans; with no tracer
+// attached the hot paths pay only a nil check.
 package sim
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"hetbench/internal/sim/device"
 	"hetbench/internal/sim/pcie"
+	"hetbench/internal/sim/power"
 	"hetbench/internal/sim/timing"
+	"hetbench/internal/trace"
 )
 
 // Target selects which side of the machine runs a kernel.
@@ -37,7 +45,9 @@ const (
 	EvDeviceToHost EventKind = "d2h"
 )
 
-// Event is one logged operation with its simulated duration.
+// Event is one logged operation with its simulated duration. It is the
+// legacy flat view; the span log underneath (Machine.Tracer) carries the
+// full hierarchy and attributes.
 type Event struct {
 	Kind   EventKind
 	Name   string
@@ -63,13 +73,42 @@ type Machine struct {
 	// paper's Figure 8a/9a excludes data transfers.
 	kernelNs   float64
 	transferNs float64
-	events     []Event
-	logEvents  bool
 	// Workload-characterization accumulators (Table I): time-weighted
 	// IPC and per-bound kernel time.
 	ipcWeighted float64
 	boundNs     map[string]float64
 	costLog     []LoggedCost
+
+	// Tracing state (all guarded by mu). proc is this machine's process
+	// index in the tracer; spanMark scopes the Events view to the current
+	// run; spanStack holds the open phase spans kernels parent under.
+	tracer    *trace.Tracer
+	proc      int
+	spanMark  int
+	spanStack []uint64
+}
+
+// defaultTracer, when set, is attached to every subsequently-constructed
+// machine — the hook behind `hetbench -trace out.json`, which must capture
+// machines the experiments construct internally.
+var (
+	defaultTracerMu sync.Mutex
+	defaultTracer   *trace.Tracer
+)
+
+// SetDefaultTracer installs (or, with nil, removes) a tracer that every
+// machine constructed afterwards attaches to.
+func SetDefaultTracer(t *trace.Tracer) {
+	defaultTracerMu.Lock()
+	defaultTracer = t
+	defaultTracerMu.Unlock()
+}
+
+// DefaultTracer returns the currently-installed default tracer, if any.
+func DefaultTracer() *trace.Tracer {
+	defaultTracerMu.Lock()
+	defer defaultTracerMu.Unlock()
+	return defaultTracer
 }
 
 // NewAPU returns the A10-7850K machine: 4 CPU cores + 8 GCN CUs on one die
@@ -102,7 +141,7 @@ func newMachine(name string, host, accel *device.Device, link *pcie.Link) *Machi
 			panic(fmt.Sprintf("sim: bad link: %v", err))
 		}
 	}
-	return &Machine{
+	m := &Machine{
 		name:       name,
 		host:       host,
 		accel:      accel,
@@ -110,6 +149,10 @@ func newMachine(name string, host, accel *device.Device, link *pcie.Link) *Machi
 		hostModel:  timing.NewModel(host),
 		accelModel: timing.NewModel(accel),
 	}
+	if t := DefaultTracer(); t != nil {
+		m.SetTracer(t)
+	}
+	return m
 }
 
 // Name returns the machine's display name.
@@ -133,13 +176,187 @@ func (m *Machine) AcceleratorModel() *timing.Model { return m.accelModel }
 // HostModel exposes the host timing model.
 func (m *Machine) HostModel() *timing.Model { return m.hostModel }
 
-// EnableEventLog turns on per-operation event recording (off by default to
-// keep long sweeps cheap).
-func (m *Machine) EnableEventLog(on bool) {
+// ---------------------------------------------------------------------
+// Tracing.
+
+// SetTracer attaches a tracer; the machine registers itself as a process
+// and emits every subsequent kernel, transfer and phase span into it.
+func (m *Machine) SetTracer(t *trace.Tracer) {
+	if t == nil {
+		panic("sim: SetTracer(nil); tracing is off by default")
+	}
+	proc := t.RegisterProcess(m.name)
 	m.mu.Lock()
-	m.logEvents = on
+	m.tracer = t
+	m.proc = proc
+	m.spanMark = t.Len()
+	m.spanStack = nil
 	m.mu.Unlock()
 }
+
+// Tracer returns the attached tracer, or nil.
+func (m *Machine) Tracer() *trace.Tracer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tracer
+}
+
+// Traced reports whether a tracer is attached.
+func (m *Machine) Traced() bool { return m.Tracer() != nil }
+
+// EnableEventLog turns on per-operation event recording by attaching an
+// internal tracer if none is present (off by default to keep long sweeps
+// cheap). The Events view reads back from the tracer's span log.
+func (m *Machine) EnableEventLog(on bool) {
+	if !on {
+		return
+	}
+	if m.Tracer() == nil {
+		m.SetTracer(trace.New())
+	}
+}
+
+// ActiveSpan is an open hierarchical span on a machine's virtual clock.
+// The zero value (returned when no tracer is attached) is a no-op.
+type ActiveSpan struct {
+	m       *Machine
+	id      uint64
+	parent  uint64
+	kind    trace.Kind
+	name    string
+	startNs float64
+}
+
+// StartSpan opens a phase-hierarchy span (run/iteration/phase) starting at
+// the current virtual clock. Spans emitted until End — kernels, transfers,
+// nested phases — parent under it. Close in LIFO order.
+func (m *Machine) StartSpan(kind trace.Kind, name string) ActiveSpan {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.tracer == nil {
+		return ActiveSpan{}
+	}
+	sp := ActiveSpan{
+		m:       m,
+		id:      m.tracer.NewSpanID(),
+		parent:  m.parentLocked(),
+		kind:    kind,
+		name:    name,
+		startNs: m.clockNs,
+	}
+	m.spanStack = append(m.spanStack, sp.id)
+	return sp
+}
+
+// StartRun opens the app-run span ("LULESH/OpenCL").
+func (m *Machine) StartRun(name string) ActiveSpan {
+	return m.StartSpan(trace.KindRun, name)
+}
+
+// StartIteration opens one timestep/solver-iteration span. The label is
+// only formatted when a tracer is attached, keeping untraced loops free.
+func (m *Machine) StartIteration(i int) ActiveSpan {
+	if m.Tracer() == nil {
+		return ActiveSpan{}
+	}
+	return m.StartSpan(trace.KindIteration, fmt.Sprintf("iter %d", i))
+}
+
+// End closes the span at the current virtual clock and emits it.
+func (s ActiveSpan) End() {
+	if s.m == nil {
+		return
+	}
+	m := s.m
+	m.mu.Lock()
+	dur := m.clockNs - s.startNs
+	if dur < 0 {
+		// The clock was reset while the span was open (apps reset at the
+		// top of each Run); clamp rather than emit nonsense.
+		dur = 0
+	}
+	// Pop this span (and anything left open above it) off the stack.
+	for i := len(m.spanStack) - 1; i >= 0; i-- {
+		if m.spanStack[i] == s.id {
+			m.spanStack = m.spanStack[:i]
+			break
+		}
+	}
+	t, proc := m.tracer, m.proc
+	m.mu.Unlock()
+	if t == nil {
+		return
+	}
+	t.Emit(trace.Span{
+		ID: s.id, Parent: s.parent, Proc: proc,
+		Track: trace.TrackPhases, Name: s.name, Kind: s.kind,
+		StartNs: s.startNs, DurNs: dur,
+	})
+}
+
+// parentLocked returns the innermost open span's ID (mu held).
+func (m *Machine) parentLocked() uint64 {
+	if n := len(m.spanStack); n > 0 {
+		return m.spanStack[n-1]
+	}
+	return 0
+}
+
+// emitKernelLocked records one kernel launch's span and counters (mu held).
+func (m *Machine) emitKernelLocked(target Target, name string, cost timing.KernelCost, r timing.Result, startNs float64) {
+	dev, model, track := m.accel, m.accelModel, trace.TrackAccelerator
+	if target == OnHost {
+		dev, model, track = m.host, m.hostModel, trace.TrackHost
+	}
+	waves := int(math.Ceil(float64(cost.Items) / float64(dev.WavefrontSize)))
+	m.tracer.Emit(trace.Span{
+		Parent: m.parentLocked(), Proc: m.proc,
+		Track: track, Name: name, Kind: trace.KindKernel,
+		StartNs: startNs, DurNs: r.TimeNs,
+		Device: dev.Name, Bound: r.Bound,
+		Items: cost.Items, Wavefronts: waves,
+	})
+
+	reg := m.tracer.Metrics()
+	reg.Add(trace.CtrKernelLaunches, 1)
+	reg.Add(trace.CtrKernelNs, r.TimeNs)
+	items := float64(cost.Items)
+	traffic := items * (cost.LoadBytes + cost.StoreBytes)
+	reg.Add(trace.CtrDRAMBytes, r.DRAMBytes)
+	reg.Add(trace.CtrLLCMissBytes, traffic*cost.MissRate)
+	reg.Add(trace.CtrLLCHitBytes, traffic*(1-cost.MissRate))
+	reg.Add(trace.CtrLDSBytes, items*cost.LDSBytes)
+	reg.Add(trace.CtrSPFlops, items*cost.SPFlops)
+	reg.Add(trace.CtrDPFlops, items*cost.DPFlops)
+	reg.Add(trace.CtrInstrs, items*cost.Instrs)
+	prof := power.ProfileFor(dev)
+	reg.Add(trace.CtrEnergyJ, prof.KernelEnergyJ(r.TimeNs, model.CoreClock(), dev.CoreClockMHz, r.DRAMBytes))
+}
+
+// emitTransferLocked records one transfer's span and counters (mu held).
+func (m *Machine) emitTransferLocked(kind EventKind, name string, bytes int64, ns, startNs float64) {
+	dir := "h2d"
+	if kind == EvDeviceToHost {
+		dir = "d2h"
+	}
+	m.tracer.Emit(trace.Span{
+		Parent: m.parentLocked(), Proc: m.proc,
+		Track: trace.TrackPCIe, Name: name, Kind: trace.KindTransfer,
+		StartNs: startNs, DurNs: ns,
+		Dir: dir, Bytes: bytes,
+	})
+	reg := m.tracer.Metrics()
+	reg.Add(trace.CtrTransferCount, 1)
+	reg.Add(trace.CtrTransferNs, ns)
+	if kind == EvDeviceToHost {
+		reg.Add(trace.CtrBytesD2H, float64(bytes))
+	} else {
+		reg.Add(trace.CtrBytesH2D, float64(bytes))
+	}
+}
+
+// ---------------------------------------------------------------------
+// Kernels and transfers.
 
 // LaunchKernel advances the virtual clock by the modeled duration of a
 // kernel with the given cost on the chosen target, and returns the timing
@@ -151,6 +368,7 @@ func (m *Machine) LaunchKernel(target Target, name string, cost timing.KernelCos
 	}
 	r := model.Kernel(cost)
 	m.mu.Lock()
+	start := m.clockNs
 	m.clockNs += r.TimeNs
 	m.kernelNs += r.TimeNs
 	m.ipcWeighted += r.IPC * r.TimeNs
@@ -163,8 +381,8 @@ func (m *Machine) LaunchKernel(target Target, name string, cost timing.KernelCos
 	if m.costLog != nil {
 		m.costLog = append(m.costLog, LoggedCost{Target: target, Name: name, Cost: cost})
 	}
-	if m.logEvents {
-		m.events = append(m.events, Event{Kind: EvKernel, Name: name, TimeNs: r.TimeNs, Bound: r.Bound})
+	if m.tracer != nil {
+		m.emitKernelLocked(target, name, cost, r, start)
 	}
 	m.mu.Unlock()
 	return r
@@ -262,10 +480,11 @@ func (m *Machine) transfer(kind EventKind, name string, bytes int64) float64 {
 		ns = us * 1e3
 	}
 	m.mu.Lock()
+	start := m.clockNs
 	m.clockNs += ns
 	m.transferNs += ns
-	if m.logEvents {
-		m.events = append(m.events, Event{Kind: kind, Name: name, TimeNs: ns, Bytes: bytes})
+	if m.tracer != nil {
+		m.emitTransferLocked(kind, name, bytes, ns, start)
 	}
 	m.mu.Unlock()
 	return ns
@@ -278,10 +497,19 @@ func (m *Machine) AddHostTime(name string, ns float64) {
 		panic(fmt.Sprintf("sim: negative host time %g", ns))
 	}
 	m.mu.Lock()
+	start := m.clockNs
 	m.clockNs += ns
 	m.kernelNs += ns
-	if m.logEvents {
-		m.events = append(m.events, Event{Kind: EvKernel, Name: name, TimeNs: ns, Bound: "host"})
+	if m.tracer != nil {
+		m.tracer.Emit(trace.Span{
+			Parent: m.parentLocked(), Proc: m.proc,
+			Track: trace.TrackHost, Name: name, Kind: trace.KindKernel,
+			StartNs: start, DurNs: ns,
+			Device: m.host.Name, Bound: "host",
+		})
+		reg := m.tracer.Metrics()
+		reg.Add(trace.CtrKernelLaunches, 1)
+		reg.Add(trace.CtrKernelNs, ns)
 	}
 	m.mu.Unlock()
 }
@@ -294,10 +522,11 @@ func (m *Machine) AddTransferTime(name string, ns float64) {
 		panic(fmt.Sprintf("sim: negative transfer time %g", ns))
 	}
 	m.mu.Lock()
+	start := m.clockNs
 	m.clockNs += ns
 	m.transferNs += ns
-	if m.logEvents {
-		m.events = append(m.events, Event{Kind: EvHostToDevice, Name: name, TimeNs: ns})
+	if m.tracer != nil {
+		m.emitTransferLocked(EvHostToDevice, name, 0, ns, start)
 	}
 	m.mu.Unlock()
 }
@@ -323,23 +552,47 @@ func (m *Machine) TransferNs() float64 {
 	return m.transferNs
 }
 
-// Events returns a copy of the event log.
+// Events returns the legacy flat event view: this machine's kernel and
+// transfer spans since the last reset, in emission order. Empty unless a
+// tracer is attached (see EnableEventLog / SetTracer).
 func (m *Machine) Events() []Event {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]Event, len(m.events))
-	copy(out, m.events)
+	t, proc, mark := m.tracer, m.proc, m.spanMark
+	m.mu.Unlock()
+	if t == nil {
+		return nil
+	}
+	var out []Event
+	for _, s := range t.SpansSince(mark) {
+		if s.Proc != proc {
+			continue
+		}
+		switch s.Kind {
+		case trace.KindKernel:
+			out = append(out, Event{Kind: EvKernel, Name: s.Name, TimeNs: s.DurNs, Bound: s.Bound})
+		case trace.KindTransfer:
+			kind := EvHostToDevice
+			if s.Dir == "d2h" {
+				kind = EvDeviceToHost
+			}
+			out = append(out, Event{Kind: kind, Name: s.Name, TimeNs: s.DurNs, Bytes: s.Bytes})
+		}
+	}
 	return out
 }
 
-// ResetClock zeroes the virtual clock, split clocks and event log (the
-// PCIe ledger is left to the caller, who may want cumulative traffic).
+// ResetClock zeroes the virtual clock, split clocks and the Events view
+// (the PCIe ledger is left to the caller, who may want cumulative
+// traffic). Spans already emitted stay in the tracer; open phase spans
+// survive a reset.
 func (m *Machine) ResetClock() {
 	m.mu.Lock()
 	m.clockNs, m.kernelNs, m.transferNs = 0, 0, 0
 	m.ipcWeighted = 0
 	m.boundNs = nil
-	m.events = nil
+	if m.tracer != nil {
+		m.spanMark = m.tracer.Len()
+	}
 	if m.costLog != nil {
 		m.costLog = m.costLog[:0]
 	}

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format (the JSON
+// Perfetto and chrome://tracing load). Timestamps and durations are in
+// microseconds.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat,omitempty"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`
+	Dur  *float64               `json:"dur,omitempty"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Track ordering inside each process: phases on top, then the two compute
+// clocks, then the link. Unknown tracks sort after these.
+var trackOrder = map[string]int{
+	TrackPhases:      0,
+	TrackHost:        1,
+	TrackAccelerator: 2,
+	TrackPCIe:        3,
+}
+
+func trackTid(track string, extra map[string]int) int {
+	if tid, ok := trackOrder[track]; ok {
+		return tid
+	}
+	if tid, ok := extra[track]; ok {
+		return tid
+	}
+	tid := len(trackOrder) + len(extra)
+	extra[track] = tid
+	return tid
+}
+
+// WriteChrome serializes the tracer's spans as Chrome trace_event JSON:
+// one pid per registered machine, one tid per virtual-clock track
+// (phases/host/accelerator/pcie), with process_name and thread_name
+// metadata so Perfetto labels the rows. Complete ("X") events are sorted
+// by start time per track, so per-track timestamps are monotone.
+func WriteChrome(w io.Writer, t *Tracer) error {
+	spans := ByStart(t.Spans())
+	procs := t.Processes()
+
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for pid, name := range procs {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]interface{}{"name": name},
+		})
+	}
+
+	extraTids := make(map[string]int)
+	seenTracks := make(map[[2]int]string)
+	for _, s := range spans {
+		tid := trackTid(s.Track, extraTids)
+		key := [2]int{s.Proc, tid}
+		if _, ok := seenTracks[key]; !ok {
+			seenTracks[key] = s.Track
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: s.Proc, Tid: tid,
+				Args: map[string]interface{}{"name": s.Track},
+			})
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_sort_index", Ph: "M", Pid: s.Proc, Tid: tid,
+				Args: map[string]interface{}{"sort_index": tid},
+			})
+		}
+		dur := s.DurNs / 1e3
+		ev := chromeEvent{
+			Name: s.Name,
+			Cat:  string(s.Kind),
+			Ph:   "X",
+			Ts:   s.StartNs / 1e3,
+			Dur:  &dur,
+			Pid:  s.Proc,
+			Tid:  tid,
+			Args: spanArgs(s),
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+func spanArgs(s Span) map[string]interface{} {
+	args := make(map[string]interface{})
+	if s.Device != "" {
+		args["device"] = s.Device
+	}
+	if s.Bound != "" {
+		args["bound"] = s.Bound
+	}
+	if s.Dir != "" {
+		args["dir"] = s.Dir
+	}
+	if s.Bytes != 0 {
+		args["bytes"] = s.Bytes
+	}
+	if s.Items != 0 {
+		args["items"] = s.Items
+	}
+	if s.Wavefronts != 0 {
+		args["wavefronts"] = s.Wavefronts
+	}
+	if len(args) == 0 {
+		return nil
+	}
+	return args
+}

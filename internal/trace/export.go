@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteCSV serializes the spans as CSV (one row per span, timeline order)
+// for downstream plotting.
+func WriteCSV(w io.Writer, t *Tracer) error {
+	procs := t.Processes()
+	var b strings.Builder
+	b.WriteString("proc,track,kind,name,start_ns,dur_ns,device,bound,dir,bytes,items,wavefronts\n")
+	for _, s := range ByStart(t.Spans()) {
+		proc := fmt.Sprintf("%d", s.Proc)
+		if s.Proc >= 0 && s.Proc < len(procs) {
+			proc = procs[s.Proc]
+		}
+		fmt.Fprintf(&b, "%s,%s,%s,%s,%.1f,%.1f,%s,%s,%s,%d,%d,%d\n",
+			csvQuote(proc), s.Track, s.Kind, csvQuote(s.Name),
+			s.StartNs, s.DurNs, csvQuote(s.Device), s.Bound, s.Dir,
+			s.Bytes, s.Items, s.Wavefronts)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func csvQuote(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Agg is one name's aggregate over a span set.
+type Agg struct {
+	Name    string
+	Kind    Kind
+	Calls   int
+	TotalNs float64
+	Bytes   int64
+	Bound   string
+}
+
+// Aggregate groups spans of the given kinds by name and returns the
+// aggregates sorted by total time, descending. An empty kinds set
+// aggregates everything.
+func Aggregate(spans []Span, kinds ...Kind) []Agg {
+	want := make(map[Kind]bool, len(kinds))
+	for _, k := range kinds {
+		want[k] = true
+	}
+	byName := make(map[string]*Agg)
+	order := []string{}
+	for _, s := range spans {
+		if len(want) > 0 && !want[s.Kind] {
+			continue
+		}
+		a := byName[s.Name]
+		if a == nil {
+			a = &Agg{Name: s.Name, Kind: s.Kind}
+			byName[s.Name] = a
+			order = append(order, s.Name)
+		}
+		a.Calls++
+		a.TotalNs += s.DurNs
+		a.Bytes += s.Bytes
+		if s.Bound != "" {
+			a.Bound = s.Bound
+		}
+	}
+	out := make([]Agg, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byName[name])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TotalNs > out[j].TotalNs })
+	return out
+}
+
+// TotalNs sums the durations of an aggregate set.
+func TotalNs(aggs []Agg) float64 {
+	var t float64
+	for _, a := range aggs {
+		t += a.TotalNs
+	}
+	return t
+}

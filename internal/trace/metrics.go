@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// Canonical counter names the simulator publishes. Substrates add to these
+// instead of keeping private accumulators, so any consumer (the energy
+// extension, the profile experiment, dashboards) reads one registry.
+const (
+	CtrKernelLaunches = "kernel.launches"
+	CtrKernelNs       = "kernel.ns"
+	CtrTransferCount  = "transfer.count"
+	CtrTransferNs     = "transfer.ns"
+	CtrBytesH2D       = "transfer.h2d.bytes"
+	CtrBytesD2H       = "transfer.d2h.bytes"
+	CtrDRAMBytes      = "dram.bytes"
+	CtrLLCHitBytes    = "llc.hit.bytes"
+	CtrLLCMissBytes   = "llc.miss.bytes"
+	CtrLDSBytes       = "lds.bytes"
+	CtrSPFlops        = "flops.sp"
+	CtrDPFlops        = "flops.dp"
+	CtrInstrs         = "instrs"
+	CtrEnergyJ        = "energy.j"
+)
+
+// Registry is a concurrent map of monotonically-accumulating counters and
+// last-write-wins gauges. The zero value is ready to use.
+type Registry struct {
+	mu     sync.Mutex
+	c      map[string]float64
+	gauges map[string]float64
+}
+
+// Add accumulates v into the named counter.
+func (r *Registry) Add(name string, v float64) {
+	r.mu.Lock()
+	if r.c == nil {
+		r.c = make(map[string]float64)
+	}
+	r.c[name] += v
+	r.mu.Unlock()
+}
+
+// Get returns the named counter's current total (0 if never written).
+func (r *Registry) Get(name string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.c[name]
+}
+
+// SetGauge records a point-in-time value (e.g. an active clock).
+func (r *Registry) SetGauge(name string, v float64) {
+	r.mu.Lock()
+	if r.gauges == nil {
+		r.gauges = make(map[string]float64)
+	}
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// Gauge returns the named gauge's last value.
+func (r *Registry) Gauge(name string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.c))
+	for k, v := range r.c {
+		out[k] = v
+	}
+	return out
+}
+
+// Names returns the counter names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.c))
+	for k := range r.c {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reset clears all counters and gauges.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	r.c, r.gauges = nil, nil
+	r.mu.Unlock()
+}

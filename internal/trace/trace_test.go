@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Concurrent emitters must not lose or corrupt spans (run under -race).
+func TestConcurrentEmit(t *testing.T) {
+	tr := New()
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			proc := tr.RegisterProcess(fmt.Sprintf("machine-%d", w))
+			for i := 0; i < per; i++ {
+				tr.Emit(Span{
+					Proc: proc, Track: TrackAccelerator, Kind: KindKernel,
+					Name: fmt.Sprintf("k%d", i), StartNs: float64(i), DurNs: 1,
+				})
+				tr.Metrics().Add(CtrKernelLaunches, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := tr.Len(); got != workers*per {
+		t.Errorf("spans = %d, want %d", got, workers*per)
+	}
+	if got := tr.Metrics().Get(CtrKernelLaunches); got != workers*per {
+		t.Errorf("kernel.launches = %g, want %d", got, workers*per)
+	}
+	ids := map[uint64]bool{}
+	for _, s := range tr.Spans() {
+		if ids[s.ID] {
+			t.Fatalf("duplicate span id %d", s.ID)
+		}
+		ids[s.ID] = true
+	}
+	if len(tr.Processes()) != workers {
+		t.Errorf("processes = %d, want %d", len(tr.Processes()), workers)
+	}
+}
+
+func TestSpansSince(t *testing.T) {
+	tr := New()
+	tr.Emit(Span{Name: "a"})
+	mark := tr.Len()
+	tr.Emit(Span{Name: "b"})
+	got := tr.SpansSince(mark)
+	if len(got) != 1 || got[0].Name != "b" {
+		t.Errorf("SpansSince(%d) = %+v", mark, got)
+	}
+}
+
+// WriteChrome must produce valid JSON whose "X" events have monotone
+// timestamps within every (pid, tid) track.
+func TestWriteChromeMonotone(t *testing.T) {
+	tr := New()
+	p0 := tr.RegisterProcess("APU")
+	p1 := tr.RegisterProcess("R9 280X")
+	// Emit deliberately out of order.
+	for i := 5; i >= 0; i-- {
+		tr.Emit(Span{Proc: p0, Track: TrackAccelerator, Kind: KindKernel,
+			Name: fmt.Sprintf("k%d", i), StartNs: float64(i * 1000), DurNs: 500, Device: "gpu", Items: 64})
+		tr.Emit(Span{Proc: p1, Track: TrackPCIe, Kind: KindTransfer,
+			Name: "buf", StartNs: float64(i * 2000), DurNs: 100, Dir: "h2d", Bytes: 1 << 20})
+	}
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string                 `json:"name"`
+			Ph   string                 `json:"ph"`
+			Ts   float64                `json:"ts"`
+			Dur  float64                `json:"dur"`
+			Pid  int                    `json:"pid"`
+			Tid  int                    `json:"tid"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", out.DisplayTimeUnit)
+	}
+
+	lastTs := map[[2]int]float64{}
+	var xEvents, metaNames int
+	for _, e := range out.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name == "process_name" || e.Name == "thread_name" {
+				metaNames++
+			}
+		case "X":
+			xEvents++
+			key := [2]int{e.Pid, e.Tid}
+			if prev, ok := lastTs[key]; ok && e.Ts < prev {
+				t.Fatalf("track %v: ts %.1f after %.1f", key, e.Ts, prev)
+			}
+			lastTs[key] = e.Ts
+			if e.Dur < 0 {
+				t.Errorf("negative dur on %q", e.Name)
+			}
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	if xEvents != 12 {
+		t.Errorf("X events = %d, want 12", xEvents)
+	}
+	if metaNames < 4 { // 2 process names + 2 thread names
+		t.Errorf("metadata events = %d, want >= 4", metaNames)
+	}
+	// Attribute args survive the round trip.
+	found := false
+	for _, e := range out.TraceEvents {
+		if e.Ph == "X" && e.Name == "buf" {
+			found = true
+			if e.Args["dir"] != "h2d" || e.Args["bytes"] != float64(1<<20) {
+				t.Errorf("transfer args = %v", e.Args)
+			}
+		}
+	}
+	if !found {
+		t.Error("transfer event missing")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tr := New()
+	p := tr.RegisterProcess("m,0") // comma forces quoting
+	tr.Emit(Span{Proc: p, Track: TrackHost, Kind: KindKernel, Name: "k", StartNs: 10, DurNs: 5})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, want := range []string{"proc,track,kind,name", `"m,0"`, "host,kernel,k,10.0,5.0"} {
+		if !bytes.Contains([]byte(got), []byte(want)) {
+			t.Errorf("CSV missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	spans := []Span{
+		{Kind: KindKernel, Name: "a", DurNs: 10, Bound: "mem"},
+		{Kind: KindKernel, Name: "b", DurNs: 30},
+		{Kind: KindKernel, Name: "a", DurNs: 15, Bound: "mem"},
+		{Kind: KindTransfer, Name: "t", DurNs: 100, Bytes: 4096},
+	}
+	kernels := Aggregate(spans, KindKernel)
+	if len(kernels) != 2 || kernels[0].Name != "b" || kernels[1].Calls != 2 || kernels[1].TotalNs != 25 {
+		t.Errorf("kernel aggregate = %+v", kernels)
+	}
+	if kernels[1].Bound != "mem" {
+		t.Errorf("bound not carried: %+v", kernels[1])
+	}
+	transfers := Aggregate(spans, KindTransfer)
+	if len(transfers) != 1 || transfers[0].Bytes != 4096 {
+		t.Errorf("transfer aggregate = %+v", transfers)
+	}
+	if got := TotalNs(kernels); got != 55 {
+		t.Errorf("TotalNs = %g", got)
+	}
+	if all := Aggregate(spans); len(all) != 3 {
+		t.Errorf("unfiltered aggregate = %+v", all)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	var r Registry // zero value usable
+	r.Add(CtrDRAMBytes, 100)
+	r.Add(CtrDRAMBytes, 28)
+	r.SetGauge("clock.mhz", 850)
+	if r.Get(CtrDRAMBytes) != 128 || r.Gauge("clock.mhz") != 850 {
+		t.Errorf("registry: %v", r.Snapshot())
+	}
+	if names := r.Names(); len(names) != 1 || names[0] != CtrDRAMBytes {
+		t.Errorf("names = %v", names)
+	}
+	r.Reset()
+	if r.Get(CtrDRAMBytes) != 0 || len(r.Snapshot()) != 0 {
+		t.Error("reset incomplete")
+	}
+}
