@@ -9,6 +9,7 @@ package hetbench_test
 import (
 	"testing"
 
+	"hetbench/internal/fault"
 	"hetbench/internal/harness"
 	"hetbench/internal/models/modelapi"
 	"hetbench/internal/sim"
@@ -156,6 +157,35 @@ func BenchmarkScalingMPIX(b *testing.B) {
 			b.ReportMetric(last.Efficiency(results[0]), "efficiency-at-32")
 		}
 	}
+}
+
+// BenchmarkFaultOverhead measures the checked kernel-launch path with
+// fault injection disabled (the default: one nil check before delegating
+// to the plain launch) against the same path with an injector attached.
+// The "off" case is the regression gate: detaching the injector must
+// restore the pre-fault-layer launch cost.
+func BenchmarkFaultOverhead(b *testing.B) {
+	cost := timing.KernelCost{
+		Items: 1 << 16, SPFlops: 32, LoadBytes: 24, StoreBytes: 8,
+		Instrs: 48, MissRate: 0.2, Coalesce: 0.9,
+	}
+	b.Run("off", func(b *testing.B) {
+		m := sim.NewDGPU()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.LaunchKernelChecked(sim.OnAccelerator, "bench", cost)
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		m := sim.NewDGPU()
+		m.SetFaultInjector(fault.New(fault.Config{Seed: 1, LaunchFailRate: 0.01}), fault.DefaultPolicy())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.LaunchKernelChecked(sim.OnAccelerator, "bench", cost)
+		}
+	})
 }
 
 // BenchmarkTraceOverhead measures the kernel-launch path with tracing

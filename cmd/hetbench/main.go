@@ -4,18 +4,20 @@
 // Usage:
 //
 //	hetbench -list
-//	hetbench -exp fig8 [-scale small|default|paper]
+//	hetbench -exp fig8 [-scale smoke|small|default|paper]
 //	hetbench -exp all  [-scale default]
-//	hetbench -exp fig9 -trace out.json   # capture a Chrome/Perfetto trace
+//	hetbench -exp fig9 -trace out.json     # capture a Chrome/Perfetto trace
+//	hetbench -exp faults -seed 7           # seeded fault-injection sweep
 //
 // Experiment ids: table1 table2 table3 table4 fig7 fig8 fig9 fig10 fig11
-// hc tiles dataregion gridtype scaling profile roofline energy trace, or
-// "all".
+// hc tiles dataregion gridtype scaling profile roofline energy trace
+// faults, or "all".
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"hetbench/internal/harness"
@@ -24,26 +26,50 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
-	scaleFlag := flag.String("scale", "default", "problem scale: small | default | paper")
-	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (open in Perfetto)")
-	list := flag.Bool("list", false, "list experiments and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable CLI body: it parses args, executes, and returns the
+// process exit code (0 ok, 1 runtime failure, 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hetbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment id (see -list) or 'all'")
+	scaleFlag := fs.String("scale", "default", "problem scale: smoke | small | default | paper")
+	traceOut := fs.String("trace", "", "write a Chrome trace_event JSON of the run to this file (open in Perfetto)")
+	seed := fs.Int64("seed", 1, "run-wide PRNG seed (fault injection); equal seeds give bit-identical runs")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "unexpected arguments %q; hetbench takes flags only\n", fs.Args())
+		return 2
+	}
 
 	reg := harness.Registry()
 	if *list {
+		if *traceOut != "" {
+			fmt.Fprintln(stderr, "-list cannot be combined with -trace")
+			return 2
+		}
 		for _, id := range harness.IDs() {
 			e := reg[id]
-			fmt.Printf("%-11s %s\n            %s\n", e.ID, e.Title, e.Description)
+			fmt.Fprintf(stdout, "%-11s %s\n            %s\n", e.ID, e.Title, e.Description)
 		}
-		return
+		return 0
 	}
 
 	scale, err := harness.ParseScale(*scaleFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
+	if *seed <= 0 {
+		fmt.Fprintf(stderr, "invalid -seed %d: the seed must be a positive integer\n", *seed)
+		return 2
+	}
+	harness.SetSeed(*seed)
 
 	// With -trace, every machine the experiment constructs attaches to one
 	// shared tracer; the combined span set is written on exit.
@@ -54,39 +80,39 @@ func main() {
 		defer sim.SetDefaultTracer(nil)
 	}
 
-	run := func() error {
-		if *exp == "all" {
-			return harness.RunAll(scale, os.Stdout)
-		}
+	if *exp == "all" {
+		err = harness.RunAll(scale, stdout)
+	} else {
 		e, ok := reg[*exp]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *exp)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "unknown experiment %q; try -list\n", *exp)
+			return 2
 		}
-		fmt.Printf("=== %s — %s ===\n", e.ID, e.Title)
-		return e.Run(scale, os.Stdout)
+		fmt.Fprintf(stdout, "=== %s — %s ===\n", e.ID, e.Title)
+		err = e.Run(scale, stdout)
 	}
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 
 	if tracer != nil {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		if err := trace.WriteChrome(f, tracer); err != nil {
 			f.Close()
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		fmt.Printf("wrote %s (%d spans, %d machines) — open at https://ui.perfetto.dev\n",
+		fmt.Fprintf(stdout, "wrote %s (%d spans, %d machines) — open at https://ui.perfetto.dev\n",
 			*traceOut, tracer.Len(), len(tracer.Processes()))
 	}
+	return 0
 }

@@ -28,6 +28,9 @@ type Result struct {
 	ElapsedNs  float64
 	KernelNs   float64
 	TransferNs float64
+	// FaultNs is virtual time lost to injected faults and their recovery
+	// (zero unless the run executed under internal/fault injection).
+	FaultNs float64
 
 	// Checksum is an application-defined digest of the computed output,
 	// used to cross-verify implementations against the serial reference.

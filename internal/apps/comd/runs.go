@@ -193,7 +193,7 @@ func (p *Problem) run(m *sim.Machine, s *State, specs map[string]modelapi.Kernel
 func (p *Problem) result(m *sim.Machine, model modelapi.Name, s *State) appcore.Result {
 	return appcore.Result{
 		App: AppName, Model: model, Machine: m.Name(), Precision: p.Precision,
-		ElapsedNs: m.ElapsedNs(), KernelNs: m.KernelNs(), TransferNs: m.TransferNs(),
+		ElapsedNs: m.ElapsedNs(), KernelNs: m.KernelNs(), TransferNs: m.TransferNs(), FaultNs: m.FaultNs(),
 		Checksum: s.TotalEnergy(), Kernels: 3,
 	}
 }

@@ -253,7 +253,7 @@ func (p *Problem) iterate(m *sim.Machine, st *stepper, d runDriver) {
 func (p *Problem) result(m *sim.Machine, model modelapi.Name, s *State) appcore.Result {
 	return appcore.Result{
 		App: AppName, Model: model, Machine: m.Name(), Precision: p.Precision,
-		ElapsedNs: m.ElapsedNs(), KernelNs: m.KernelNs(), TransferNs: m.TransferNs(),
+		ElapsedNs: m.ElapsedNs(), KernelNs: m.KernelNs(), TransferNs: m.TransferNs(), FaultNs: m.FaultNs(),
 		Checksum: s.TotalEnergy(), Kernels: int(NumKernels),
 	}
 }
@@ -278,6 +278,7 @@ func (p *Problem) RunOpenCL(m *sim.Machine) appcore.Result {
 	st := newStepper(s, p.Precision)
 	ctx := opencl.NewContext(m)
 	q := ctx.NewQueue()
+	ctx.Bind("lulesh.e", s.E)
 
 	var partials *opencl.Buffer
 	for _, g := range p.groups() {
@@ -309,6 +310,7 @@ func (p *Problem) RunCppAMP(m *sim.Machine) appcore.Result {
 	s := NewState(p.Mesh)
 	st := newStepper(s, p.Precision)
 	rt := cppamp.New(m)
+	rt.Bind("lulesh.e", s.E)
 
 	views := map[string]*cppamp.ArrayView{}
 	var all []*cppamp.ArrayView
@@ -339,6 +341,7 @@ func (p *Problem) RunOpenACC(m *sim.Machine) appcore.Result {
 	s := NewState(p.Mesh)
 	st := newStepper(s, p.Precision)
 	rt := openacc.New(m)
+	rt.Bind("lulesh.e", s.E)
 
 	var clauses []openacc.Clause
 	for _, g := range p.groups() {

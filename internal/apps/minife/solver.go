@@ -321,7 +321,7 @@ func (p *Problem) result(m *sim.Machine, model modelapi.Name, iters int, res, su
 	return SolveResult{
 		Result: appcore.Result{
 			App: AppName, Model: model, Machine: m.Name(), Precision: p.Precision,
-			ElapsedNs: m.ElapsedNs(), KernelNs: m.KernelNs(), TransferNs: m.TransferNs(),
+			ElapsedNs: m.ElapsedNs(), KernelNs: m.KernelNs(), TransferNs: m.TransferNs(), FaultNs: m.FaultNs(),
 			Checksum: sum, Kernels: 3,
 		},
 		Iterations: iters,

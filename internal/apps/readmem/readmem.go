@@ -133,7 +133,7 @@ func (p *Problem) bytesOut() int64 {
 func (p *Problem) result(m *sim.Machine, model modelapi.Name, sum float64) appcore.Result {
 	return appcore.Result{
 		App: AppName, Model: model, Machine: m.Name(), Precision: p.Cfg.Precision,
-		ElapsedNs: m.ElapsedNs(), KernelNs: m.KernelNs(), TransferNs: m.TransferNs(),
+		ElapsedNs: m.ElapsedNs(), KernelNs: m.KernelNs(), TransferNs: m.TransferNs(), FaultNs: m.FaultNs(),
 		Checksum: sum, Kernels: 1,
 	}
 }
@@ -157,7 +157,8 @@ func (p *Problem) RunOpenCL(m *sim.Machine) appcore.Result {
 	bufOut := ctx.CreateBuffer("read.out", p.bytesOut())
 	q.EnqueueWriteBuffer(bufIn)
 	out := make([]float64, p.Cfg.Blocks)
-	k := ctx.CreateKernel(p.spec(m), p.body(out))
+	ctx.Bind("read.out", out)
+	k := ctx.CreateKernel(p.spec(m), p.body(out)).SetArgs(bufIn, bufOut)
 	q.EnqueueNDRange(k, p.Cfg.Blocks, BlockSize)
 	q.EnqueueReadBuffer(bufOut)
 	q.Finish()
@@ -172,6 +173,7 @@ func (p *Problem) RunCppAMP(m *sim.Machine) appcore.Result {
 	avIn := rt.NewArrayView("read.in", p.bytesIn())
 	avOut := rt.NewArrayView("read.out", p.bytesOut())
 	out := make([]float64, p.Cfg.Blocks)
+	rt.Bind("read.out", out)
 	ext := cppamp.NewExtent(p.Cfg.Blocks)
 	rt.ParallelForEach(p.spec(m), ext, []*cppamp.ArrayView{avIn, avOut}, p.body(out))
 	avOut.Synchronize()
@@ -185,6 +187,7 @@ func (p *Problem) RunOpenACC(m *sim.Machine) appcore.Result {
 	m.ResetClock()
 	rt := openacc.New(m)
 	out := make([]float64, p.Cfg.Blocks)
+	rt.Bind("read.out", out)
 	uses := []openacc.Clause{
 		openacc.Copyin("read.in", p.bytesIn()),
 		openacc.Copyout("read.out", p.bytesOut()),

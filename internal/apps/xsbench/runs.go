@@ -75,7 +75,7 @@ func (p *Problem) checksum(partial []float64) float64 {
 func (p *Problem) result(m *sim.Machine, model modelapi.Name, sum float64) appcore.Result {
 	return appcore.Result{
 		App: AppName, Model: model, Machine: m.Name(), Precision: p.Precision,
-		ElapsedNs: m.ElapsedNs(), KernelNs: m.KernelNs(), TransferNs: m.TransferNs(),
+		ElapsedNs: m.ElapsedNs(), KernelNs: m.KernelNs(), TransferNs: m.TransferNs(), FaultNs: m.FaultNs(),
 		Checksum: sum, Kernels: 1,
 	}
 }

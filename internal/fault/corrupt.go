@@ -1,0 +1,67 @@
+package fault
+
+import (
+	"math"
+	"sync"
+)
+
+// FlipBit flips the top mantissa bit of v — roughly a ±50% perturbation on
+// a normal float64, large enough that an end-to-end checksum catches it,
+// small enough not to blow a simulation up into Inf. Flipping a zero
+// yields a denormal that vanishes back into a sum; like real silent data
+// corruption, a flip in dead data is masked.
+func FlipBit(v float64) float64 {
+	return math.Float64frombits(math.Float64bits(v) ^ (1 << 51))
+}
+
+// Corruptor tracks the live output arrays a runtime may silently corrupt
+// when the injector draws BitFlip. Runtimes expose a Bind method so
+// applications can register the Go slices backing their device buffers;
+// with nothing bound a bit flip lands in untracked scratch and is masked.
+type Corruptor struct {
+	mu      sync.Mutex
+	targets []corruptTarget
+}
+
+type corruptTarget struct {
+	name string
+	data []float64
+}
+
+// Bind registers one array as a corruption target. Binding the same name
+// again replaces the slice (apps re-bind per run with fresh allocations).
+func (c *Corruptor) Bind(name string, data []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.targets {
+		if c.targets[i].name == name {
+			c.targets[i].data = data
+			return
+		}
+	}
+	c.targets = append(c.targets, corruptTarget{name: name, data: data})
+}
+
+// Corrupt flips one bit in one element of one bound array, choosing the
+// victim deterministically from the injector's PRNG. It reports what was
+// hit; ok is false when nothing is bound (the flip is masked).
+func (c *Corruptor) Corrupt(inj *Injector) (name string, index int, ok bool) {
+	if inj == nil {
+		return "", 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var live []corruptTarget
+	for _, t := range c.targets {
+		if len(t.data) > 0 {
+			live = append(live, t)
+		}
+	}
+	if len(live) == 0 {
+		return "", 0, false
+	}
+	t := live[inj.Pick(len(live))]
+	i := inj.Pick(len(t.data))
+	t.data[i] = FlipBit(t.data[i])
+	return t.name, i, true
+}

@@ -1,0 +1,83 @@
+package fault
+
+import "fmt"
+
+// Policy is the resilience policy the harness attaches alongside an
+// Injector: how often a runtime retries a failed launch, how backoff grows
+// in virtual time, how long the watchdog lets a hung kernel sit, and how
+// many whole-run redos the harness spends on silently corrupted results
+// before running with injection disabled.
+type Policy struct {
+	// MaxAttempts is the total number of accelerator attempts per kernel
+	// launch (first try + retries). A launch that fails MaxAttempts times
+	// degrades gracefully to the host CPU.
+	MaxAttempts int
+
+	// BackoffBaseNs is the virtual-time wait before the first retry;
+	// successive waits multiply by BackoffFactor up to BackoffMaxNs.
+	BackoffBaseNs float64
+	BackoffFactor float64
+	BackoffMaxNs  float64
+
+	// WatchdogNs is the virtual time a hung kernel burns before the
+	// watchdog kills it and hands the launch back for retry.
+	WatchdogNs float64
+
+	// MaxRunRedos bounds how many times the harness re-runs a whole
+	// application run whose checksum disagrees with the golden output
+	// (silent corruption escaped to the result). After the budget is spent
+	// the harness runs once with injection disabled so every experiment
+	// terminates with correct numerics.
+	MaxRunRedos int
+}
+
+// DefaultPolicy returns the policy the experiments use: four attempts with
+// 50 µs → 2 ms exponential backoff, a 1 ms watchdog, and four run redos.
+// The backoff schedule sums to ~350 µs over three retries, so it just
+// outlasts the default 400 µs device-loss window on the final attempt —
+// shorter losses are ridden out, longer ones degrade to the CPU.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxAttempts:   4,
+		BackoffBaseNs: 50e3,
+		BackoffFactor: 2,
+		BackoffMaxNs:  2e6,
+		WatchdogNs:    1e6,
+		MaxRunRedos:   4,
+	}
+}
+
+// Validate reports unusable policies.
+func (p Policy) Validate() error {
+	switch {
+	case p.MaxAttempts < 1:
+		return fmt.Errorf("fault: policy MaxAttempts %d must be ≥1", p.MaxAttempts)
+	case p.BackoffBaseNs < 0:
+		return fmt.Errorf("fault: policy BackoffBaseNs %g must be ≥0", p.BackoffBaseNs)
+	case p.BackoffFactor < 1:
+		return fmt.Errorf("fault: policy BackoffFactor %g must be ≥1", p.BackoffFactor)
+	case p.BackoffMaxNs < p.BackoffBaseNs:
+		return fmt.Errorf("fault: policy BackoffMaxNs %g below BackoffBaseNs %g", p.BackoffMaxNs, p.BackoffBaseNs)
+	case p.WatchdogNs <= 0:
+		return fmt.Errorf("fault: policy WatchdogNs %g must be positive", p.WatchdogNs)
+	case p.MaxRunRedos < 0:
+		return fmt.Errorf("fault: policy MaxRunRedos %d must be ≥0", p.MaxRunRedos)
+	}
+	return nil
+}
+
+// BackoffNs returns the virtual-time wait before retry `attempt` (1-based):
+// BackoffBaseNs·BackoffFactor^(attempt−1), capped at BackoffMaxNs.
+func (p Policy) BackoffNs(attempt int) float64 {
+	ns := p.BackoffBaseNs
+	for i := 1; i < attempt; i++ {
+		ns *= p.BackoffFactor
+		if ns >= p.BackoffMaxNs {
+			return p.BackoffMaxNs
+		}
+	}
+	if ns > p.BackoffMaxNs {
+		return p.BackoffMaxNs
+	}
+	return ns
+}

@@ -28,11 +28,16 @@ const (
 	ScaleSmall Scale = iota
 	ScaleDefault
 	ScalePaper
+	// ScaleSmoke is the tiniest runnable size: CI determinism checks and
+	// quick plumbing tests, not a scale whose numbers mean anything.
+	ScaleSmoke
 )
 
 // ParseScale maps a flag string to a Scale.
 func ParseScale(s string) (Scale, error) {
 	switch s {
+	case "smoke":
+		return ScaleSmoke, nil
 	case "small":
 		return ScaleSmall, nil
 	case "default", "":
@@ -40,9 +45,22 @@ func ParseScale(s string) (Scale, error) {
 	case "paper":
 		return ScalePaper, nil
 	default:
-		return 0, fmt.Errorf("harness: unknown scale %q (small|default|paper)", s)
+		return 0, fmt.Errorf("harness: unknown scale %q (smoke|small|default|paper)", s)
 	}
 }
+
+// seed is the run-wide PRNG seed: every randomized subsystem (today the
+// fault injector; nothing else in the harness draws randomness) derives
+// its stream deterministically from it, so two runs with the same seed,
+// scale and experiment are bit-identical. The default matches the
+// documented `-seed 1`.
+var seed int64 = 1
+
+// SetSeed installs the run-wide seed (the cmd/hetbench -seed flag).
+func SetSeed(s int64) { seed = s }
+
+// Seed returns the run-wide seed.
+func Seed() int64 { return seed }
 
 // AppNames in paper order.
 var AppNames = []string{
@@ -61,6 +79,15 @@ type workloads struct {
 func newWorkloads(scale Scale, prec timing.Precision) *workloads {
 	w := &workloads{}
 	switch scale {
+	case ScaleSmoke:
+		// Deliberately toy-sized: the smoke scale exists so CI can run an
+		// experiment twice and byte-diff the output in seconds, not to
+		// reproduce any paper phenomenon.
+		w.Readmem = readmem.NewProblem(readmem.Config{Blocks: 1 << 12, Precision: prec})
+		w.Lulesh = lulesh.NewProblem(lulesh.Config{S: 16, Iters: 8, FunctionalIters: 1}, prec)
+		w.Comd = comd.NewProblem(comd.Config{Nx: 6, Ny: 6, Nz: 6, Iters: 6, FunctionalIters: 1}, prec)
+		w.Xsbench = xsbench.NewProblem(xsbench.Config{Nuclides: 16, GridPoints: 512, Lookups: 20_000}, prec)
+		w.Minife = minife.NewProblem(minife.Config{Nx: 24, Ny: 24, Nz: 24, MaxIters: 10, Tol: 0, FunctionalIters: 1}, prec)
 	case ScaleSmall:
 		// Small still has to be big enough that device kernels dominate
 		// the fixed launch (8 µs) and PCIe setup costs — the paper's
@@ -138,6 +165,8 @@ func Registry() map[string]Experiment {
 			"device energy (idle + DVFS dynamic + DRAM + PCIe) per app, APU vs dGPU", RunEnergy},
 		{"trace", "Extension: structured trace timelines",
 			"LULESH under each GPU model on the dGPU: per-iteration Gantt charts, span aggregates and run counters (exposes the C++ AMP CPU-fallback kernel)", RunTrace},
+		{"faults", "Extension: fault injection and resilience",
+			"LULESH under each GPU model on the dGPU across a seeded fault-rate sweep: completed-run rate, recovery overhead, retries, watchdog kills and host fallbacks per model", RunFaults},
 	}
 	m := make(map[string]Experiment, len(exps))
 	for _, e := range exps {
@@ -158,7 +187,7 @@ func IDs() []string {
 
 // RunAll executes every experiment in order.
 func RunAll(scale Scale, w io.Writer) error {
-	order := []string{"table1", "table2", "table3", "table4", "fig7", "fig8", "fig9", "fig10", "fig11", "hc", "tiles", "dataregion", "gridtype", "scaling", "profile", "roofline", "energy", "trace"}
+	order := []string{"table1", "table2", "table3", "table4", "fig7", "fig8", "fig9", "fig10", "fig11", "hc", "tiles", "dataregion", "gridtype", "scaling", "profile", "roofline", "energy", "trace", "faults"}
 	reg := Registry()
 	for _, id := range order {
 		e := reg[id]

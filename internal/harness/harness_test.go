@@ -13,7 +13,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	want := []string{"table1", "table2", "table3", "table4", "fig7", "fig8", "fig9", "fig10", "fig11", "hc", "tiles", "dataregion", "gridtype", "scaling", "profile", "roofline", "energy", "trace"}
+	want := []string{"table1", "table2", "table3", "table4", "fig7", "fig8", "fig9", "fig10", "fig11", "hc", "tiles", "dataregion", "gridtype", "scaling", "profile", "roofline", "energy", "trace", "faults"}
 	for _, id := range want {
 		e, ok := reg[id]
 		if !ok {
@@ -29,14 +29,29 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestParseScale(t *testing.T) {
-	for s, want := range map[string]Scale{"small": ScaleSmall, "default": ScaleDefault, "": ScaleDefault, "paper": ScalePaper} {
-		got, err := ParseScale(s)
-		if err != nil || got != want {
-			t.Errorf("ParseScale(%q) = %v, %v", s, got, err)
-		}
+	cases := []struct {
+		in   string
+		want Scale
+		ok   bool
+	}{
+		{"smoke", ScaleSmoke, true},
+		{"small", ScaleSmall, true},
+		{"default", ScaleDefault, true},
+		{"", ScaleDefault, true},
+		{"paper", ScalePaper, true},
+		{"huge", 0, false},
+		{"Small", 0, false}, // scales are case-sensitive
+		{"paper ", 0, false},
+		{"smol", 0, false},
 	}
-	if _, err := ParseScale("huge"); err == nil {
-		t.Error("bad scale accepted")
+	for _, c := range cases {
+		got, err := ParseScale(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParseScale(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseScale(%q) accepted, want error", c.in)
+		}
 	}
 }
 

@@ -157,6 +157,15 @@ var counterRows = []struct{ name, label, unit string }{
 	{trace.CtrDRAMBytes, "DRAM traffic", "B"},
 	{trace.CtrLDSBytes, "LDS traffic", "B"},
 	{trace.CtrEnergyJ, "energy", "J"},
+	// Resilience counters: zero (and therefore hidden) unless the run
+	// executed under fault injection.
+	{trace.CtrFaultNs, "fault time", "ms"},
+	{trace.CtrRetries, "retries", ""},
+	{trace.CtrBackoffNs, "backoff time", "ms"},
+	{trace.CtrWatchdogKills, "watchdog kills", ""},
+	{trace.CtrFallbacks, "host fallbacks", ""},
+	{trace.CtrRetransmits, "retransmits", ""},
+	{trace.CtrSDCRedos, "SDC redos", ""},
 }
 
 func counterTable(w io.Writer, title string, reg *trace.Registry) error {

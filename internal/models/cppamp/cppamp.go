@@ -14,6 +14,7 @@ package cppamp
 import (
 	"fmt"
 
+	"hetbench/internal/fault"
 	"hetbench/internal/models/modelapi"
 	"hetbench/internal/sim"
 	"hetbench/internal/sim/exec"
@@ -25,6 +26,7 @@ type Runtime struct {
 	machine *sim.Machine
 	profile *modelapi.Profile
 	cache   map[string]exec.Counters
+	corrupt fault.Corruptor
 }
 
 // New returns an AMP runtime for the machine.
@@ -38,6 +40,10 @@ func New(machine *sim.Machine) *Runtime {
 
 // Machine returns the bound machine.
 func (r *Runtime) Machine() *sim.Machine { return r.machine }
+
+// Bind registers an output array as a silent-corruption target (see
+// fault.Corruptor). Apps re-bind per run.
+func (r *Runtime) Bind(name string, data []float64) { r.corrupt.Bind(name, data) }
 
 // Extent is a 1-D iteration domain (extent<1> in AMP).
 type Extent struct{ Size int }
@@ -126,7 +132,7 @@ func (r *Runtime) ParallelForEach(spec modelapi.KernelSpec, ext Extent, views []
 	per := res.Counters.PerItem(ext.Size)
 	r.cache[spec.Name] = per
 	cost := spec.Cost(r.profile, ext.Size, per)
-	return r.machine.LaunchKernel(sim.OnAccelerator, spec.Name, cost)
+	return r.launchResilient(spec, ext.Size, per, cost, views)
 }
 
 // Launch runs the kernel functionally when functional is true (or when no
@@ -146,21 +152,68 @@ func (r *Runtime) Launch(spec modelapi.KernelSpec, ext Extent, views []*ArrayVie
 func (r *Runtime) ParallelForEachTiled(spec modelapi.KernelSpec, ext TiledExtent, ldsFloats int, views []*ArrayView, phases ...exec.Phase) timing.Result {
 	r.stageAll(views)
 	res := exec.RunTiled(ext.Size, ext.Tile, ldsFloats, phases...)
-	cost := spec.Cost(r.profile, ext.Size, res.Counters.PerItem(ext.Size))
-	return r.machine.LaunchKernel(sim.OnAccelerator, spec.Name, cost)
+	per := res.Counters.PerItem(ext.Size)
+	cost := spec.Cost(r.profile, ext.Size, per)
+	return r.launchResilient(spec, ext.Size, per, cost, views)
 }
 
 // Replay charges another launch with previously measured per-item counters
 // (views are still staged, preserving transfer semantics).
 func (r *Runtime) Replay(spec modelapi.KernelSpec, n int, views []*ArrayView, per exec.Counters) timing.Result {
 	r.stageAll(views)
-	return r.machine.LaunchKernel(sim.OnAccelerator, spec.Name, spec.Cost(r.profile, n, per))
+	return r.launchResilient(spec, n, per, spec.Cost(r.profile, n, per), views)
 }
 
 func (r *Runtime) stageAll(views []*ArrayView) {
 	for _, v := range views {
 		v.stageIn()
 	}
+}
+
+// launchResilient issues one device launch under the machine's fault
+// policy. AMP's recovery cost follows its conservative data management:
+// after a failed launch the runtime cannot prove which captured views the
+// aborted kernel dirtied, so every captured view's device copy is
+// invalidated and re-staged before the retry — the whole capture set
+// round-trips, not just what the kernel needed (compare the OpenCL
+// runtime, which re-stages only staged argument buffers). After the retry
+// budget the launch degrades to the host CPU, which under AMP semantics
+// synchronizes every view back and leaves the next device kernel to pay
+// the re-staging. With no injector attached this is LaunchKernel plus a
+// nil check.
+func (r *Runtime) launchResilient(spec modelapi.KernelSpec, n int, per exec.Counters, cost timing.KernelCost, views []*ArrayView) timing.Result {
+	m := r.machine
+	res, ev := m.LaunchKernelChecked(sim.OnAccelerator, spec.Name, cost)
+	if ev == nil {
+		return res
+	}
+	pol := m.FaultPolicy()
+	for attempt := 1; ; attempt++ {
+		if ev.Kind == fault.BitFlip {
+			r.corrupt.Corrupt(m.FaultInjector())
+			return res
+		}
+		if attempt >= pol.MaxAttempts {
+			break
+		}
+		m.ChargeBackoffNs(spec.Name, pol.BackoffNs(attempt))
+		// Conservative invalidation: assume every captured view was
+		// dirtied by the aborted launch and re-sync it all.
+		for _, v := range views {
+			v.onDevice = false
+		}
+		r.stageAll(views)
+		res, ev = m.LaunchKernelChecked(sim.OnAccelerator, spec.Name, cost)
+		if ev == nil {
+			return res
+		}
+	}
+	m.NoteFallback(spec.Name)
+	for _, v := range views {
+		v.Synchronize()
+	}
+	hostCost := spec.Cost(modelapi.ProfileFor(modelapi.OpenMP), n, per)
+	return m.LaunchKernel(sim.OnHost, spec.Name+"(cpu-fallback)", hostCost)
 }
 
 // HostFallback runs a kernel on the host CPU instead of the GPU — the

@@ -17,6 +17,7 @@ package openacc
 import (
 	"fmt"
 
+	"hetbench/internal/fault"
 	"hetbench/internal/models/modelapi"
 	"hetbench/internal/sim"
 	"hetbench/internal/sim/exec"
@@ -31,6 +32,7 @@ type Runtime struct {
 	// region are device-resident and not re-copied by kernels regions.
 	regions []*DataRegion
 	cache   map[string]exec.Counters
+	corrupt fault.Corruptor
 }
 
 // New returns an OpenACC runtime for the machine.
@@ -44,6 +46,10 @@ func New(machine *sim.Machine) *Runtime {
 
 // Machine returns the bound machine.
 func (r *Runtime) Machine() *sim.Machine { return r.machine }
+
+// Bind registers an output array as a silent-corruption target (see
+// fault.Corruptor). Apps re-bind per run.
+func (r *Runtime) Bind(name string, data []float64) { r.corrupt.Bind(name, data) }
 
 // Intent is a data clause kind.
 type Intent int
@@ -213,13 +219,90 @@ func (r *Runtime) finishLoopDerated(spec modelapi.KernelSpec, n int, uses []Clau
 		// Idle lanes inside partially-filled wavefronts.
 		cost.VecEff *= util
 	}
-	result := r.machine.LaunchKernel(sim.OnAccelerator, spec.Name, cost)
+	result := r.launchResilient(spec, n, per, cost, uses)
 	for _, c := range uses {
 		if !r.present(c.Name) && (c.Intent == IntentCopy || c.Intent == IntentCopyout) {
 			r.machine.TransferFromDevice(c.Name, c.Bytes)
 		}
 	}
 	return result
+}
+
+// launchResilient issues one device launch under the machine's fault
+// policy. The directive model has the coarsest recovery granularity of the
+// three runtimes: the generated runtime tracks data at region scope, so
+// after a failed launch it re-establishes the whole kernels region —
+// every copy/copyin clause of every open data region plus the loop's own
+// non-present input clauses is copied to the device again before the
+// retry. Host fallback round-trips the full region: all device-resident
+// region arrays come back to the host, the loop runs on the CPU, and the
+// region's inputs are pushed down again to restore device residency. With
+// no injector attached this is LaunchKernel plus a nil check.
+func (r *Runtime) launchResilient(spec modelapi.KernelSpec, n int, per exec.Counters, cost timing.KernelCost, uses []Clause) timing.Result {
+	m := r.machine
+	res, ev := m.LaunchKernelChecked(sim.OnAccelerator, spec.Name, cost)
+	if ev == nil {
+		return res
+	}
+	pol := m.FaultPolicy()
+	for attempt := 1; ; attempt++ {
+		if ev.Kind == fault.BitFlip {
+			r.corrupt.Corrupt(m.FaultInjector())
+			return res
+		}
+		if attempt >= pol.MaxAttempts {
+			break
+		}
+		m.ChargeBackoffNs(spec.Name, pol.BackoffNs(attempt))
+		r.restageRegion(uses)
+		res, ev = m.LaunchKernelChecked(sim.OnAccelerator, spec.Name, cost)
+		if ev == nil {
+			return res
+		}
+	}
+	m.NoteFallback(spec.Name)
+	for _, c := range r.regionAndUses(uses) {
+		if c.Intent != IntentCreate {
+			m.TransferFromDevice(c.Name+"(fallback-sync)", c.Bytes)
+		}
+	}
+	hostCost := spec.Cost(modelapi.ProfileFor(modelapi.OpenMP), n, per)
+	res = m.LaunchKernel(sim.OnHost, spec.Name+"(cpu-fallback)", hostCost)
+	r.restageRegion(uses)
+	return res
+}
+
+// restageRegion re-copies the whole kernels region to the device: every
+// input clause (copy/copyin) of every open data region plus the loop's own
+// non-present input clauses.
+func (r *Runtime) restageRegion(uses []Clause) {
+	for _, reg := range r.regions {
+		for _, c := range reg.clauses {
+			if c.Intent == IntentCopy || c.Intent == IntentCopyin {
+				r.machine.TransferToDevice(c.Name+"(restage)", c.Bytes)
+			}
+		}
+	}
+	for _, c := range uses {
+		if !r.present(c.Name) && (c.Intent == IntentCopy || c.Intent == IntentCopyin) {
+			r.machine.TransferToDevice(c.Name+"(restage)", c.Bytes)
+		}
+	}
+}
+
+// regionAndUses returns every clause in scope for one kernels region: the
+// open data regions' clauses followed by the loop's own non-present uses.
+func (r *Runtime) regionAndUses(uses []Clause) []Clause {
+	var out []Clause
+	for _, reg := range r.regions {
+		out = append(out, reg.clauses...)
+	}
+	for _, c := range uses {
+		if !r.present(c.Name) {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // UpdateHost is `#pragma acc update host(...)`: refresh a host copy of a

@@ -11,6 +11,7 @@ package opencl
 import (
 	"fmt"
 
+	"hetbench/internal/fault"
 	"hetbench/internal/models/modelapi"
 	"hetbench/internal/sim"
 	"hetbench/internal/sim/exec"
@@ -22,6 +23,7 @@ type Context struct {
 	machine *sim.Machine
 	profile *modelapi.Profile
 	cache   map[string]exec.Counters
+	corrupt fault.Corruptor
 }
 
 // NewContext initializes the runtime for a machine (the InitCl() of
@@ -37,13 +39,22 @@ func NewContext(machine *sim.Machine) *Context {
 // Machine returns the bound machine.
 func (c *Context) Machine() *sim.Machine { return c.machine }
 
+// Bind registers an output array as a silent-corruption target: when the
+// fault injector flips a bit in a kernel's output, the flip lands in a
+// bound slice (see fault.Corruptor). Apps re-bind per run.
+func (c *Context) Bind(name string, data []float64) { c.corrupt.Bind(name, data) }
+
 // Buffer is a device allocation (cl_mem). The simulator keeps one copy of
 // the data (the Go slice owned by the application); Buffer tracks the
-// allocation size so transfers are charged faithfully.
+// allocation size so transfers are charged faithfully. staged records that
+// the program explicitly wrote the buffer to the device, which is exactly
+// the set the resilience layer re-stages after a launch failure — the
+// explicit model's recovery advantage.
 type Buffer struct {
-	ctx   *Context
-	name  string
-	bytes int64
+	ctx    *Context
+	name   string
+	bytes  int64
+	staged bool
 }
 
 // CreateBuffer allocates a device buffer of the given size.
@@ -72,6 +83,7 @@ func (c *Context) NewQueue() *Queue { return &Queue{ctx: c} }
 // "the host-code ... is much simpler without the need for ... staging
 // data" advantage).
 func (q *Queue) EnqueueWriteBuffer(b *Buffer) float64 {
+	b.staged = true
 	return q.ctx.machine.TransferToDevice(b.name, b.bytes)
 }
 
@@ -98,10 +110,22 @@ type Kernel struct {
 	// knob per Figure 11): the dynamic instruction count drops.
 	Unroll bool
 
+	// args are the buffers bound with SetArgs; the resilience layer
+	// re-stages the staged ones between retry attempts.
+	args []*Buffer
+
 	// lastPer holds the most recent functional launch's per-item
 	// counters so ReplayNDRange can re-charge without re-executing.
 	lastPer   exec.Counters
 	lastValid bool
+}
+
+// SetArgs binds the kernel's buffer arguments (clSetKernelArg). Argument
+// binding is what lets the resilience layer re-stage precisely the failed
+// kernel's staged inputs — and nothing else — after a transient fault.
+func (k *Kernel) SetArgs(bufs ...*Buffer) *Kernel {
+	k.args = bufs
+	return k
 }
 
 // CreateKernel compiles a simple (non-tiled) kernel.
@@ -148,7 +172,7 @@ func (q *Queue) EnqueueNDRange(k *Kernel, global, local int) timing.Result {
 	}
 	k.lastPer, k.lastValid = per, true
 	cost := k.spec.Cost(q.ctx.profile, global, per)
-	return q.ctx.machine.LaunchKernel(sim.OnAccelerator, k.spec.Name, cost)
+	return q.ctx.launchResilient(k.spec, global, per, cost, k.args)
 }
 
 // Launch runs the kernel functionally when functional is true (or when it
@@ -171,7 +195,7 @@ func (q *Queue) LaunchFunc(spec modelapi.KernelSpec, global int, functional bool
 		q.ctx.cache[spec.Name] = per
 	}
 	cost := spec.Cost(q.ctx.profile, global, per)
-	return q.ctx.machine.LaunchKernel(sim.OnAccelerator, spec.Name, cost)
+	return q.ctx.launchResilient(spec, global, per, cost, nil)
 }
 
 // ReplayNDRange charges another launch with the counters measured by the
@@ -182,5 +206,64 @@ func (q *Queue) ReplayNDRange(k *Kernel, global int) timing.Result {
 		panic(fmt.Sprintf("opencl: ReplayNDRange(%s) before any functional launch", k.spec.Name))
 	}
 	cost := k.spec.Cost(q.ctx.profile, global, k.lastPer)
-	return q.ctx.machine.LaunchKernel(sim.OnAccelerator, k.spec.Name, cost)
+	return q.ctx.launchResilient(k.spec, global, k.lastPer, cost, k.args)
+}
+
+// ---------------------------------------------------------------------
+// Resilience.
+
+// launchResilient issues one device launch under the machine's fault
+// policy: transient failures (launch rejection, watchdog-killed hang,
+// device loss) are retried with exponential backoff, restaging the
+// kernel's staged argument buffers before each retry — the explicit
+// model's recovery cost is exactly the buffers the programmer staged, no
+// more. A silent bit flip is routed to the context's corruptor (detected
+// later by end-to-end checksum). When the retry budget is exhausted the
+// launch degrades gracefully to the host CPU. With no injector attached
+// this is LaunchKernel plus one nil check.
+func (c *Context) launchResilient(spec modelapi.KernelSpec, global int, per exec.Counters, cost timing.KernelCost, args []*Buffer) timing.Result {
+	m := c.machine
+	r, ev := m.LaunchKernelChecked(sim.OnAccelerator, spec.Name, cost)
+	if ev == nil {
+		return r
+	}
+	pol := m.FaultPolicy()
+	for attempt := 1; ; attempt++ {
+		if ev.Kind == fault.BitFlip {
+			// The launch completed; the corruption surfaces at the run's
+			// end-to-end checksum, not here.
+			c.corrupt.Corrupt(m.FaultInjector())
+			return r
+		}
+		if attempt >= pol.MaxAttempts {
+			break
+		}
+		m.ChargeBackoffNs(spec.Name, pol.BackoffNs(attempt))
+		for _, b := range args {
+			if b != nil && b.staged {
+				m.TransferToDevice(b.name+"(restage)", b.bytes)
+			}
+		}
+		r, ev = m.LaunchKernelChecked(sim.OnAccelerator, spec.Name, cost)
+		if ev == nil {
+			return r
+		}
+	}
+	// Retry budget exhausted: degrade gracefully to the host CPU. The
+	// explicit model round-trips the kernel's staged buffers — results
+	// must land back on the device so subsequent kernels see them.
+	m.NoteFallback(spec.Name)
+	for _, b := range args {
+		if b != nil && b.staged {
+			m.TransferFromDevice(b.name+"(fallback-sync)", b.bytes)
+		}
+	}
+	hostCost := spec.Cost(modelapi.ProfileFor(modelapi.OpenMP), global, per)
+	res := m.LaunchKernel(sim.OnHost, spec.Name+"(cpu-fallback)", hostCost)
+	for _, b := range args {
+		if b != nil && b.staged {
+			m.TransferToDevice(b.name+"(restage)", b.bytes)
+		}
+	}
+	return res
 }

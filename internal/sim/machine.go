@@ -18,6 +18,7 @@ import (
 	"math"
 	"sync"
 
+	"hetbench/internal/fault"
 	"hetbench/internal/sim/device"
 	"hetbench/internal/sim/pcie"
 	"hetbench/internal/sim/power"
@@ -70,9 +71,13 @@ type Machine struct {
 	mu      sync.Mutex
 	clockNs float64
 	// Split clocks let experiments report "kernel-only" time the way the
-	// paper's Figure 8a/9a excludes data transfers.
+	// paper's Figure 8a/9a excludes data transfers. faultNs is virtual
+	// time lost to injected faults and their recovery (failed attempts,
+	// watchdog waits, backoff, retransmissions) — the numerator of the
+	// faults experiment's recovery-overhead metric.
 	kernelNs   float64
 	transferNs float64
+	faultNs    float64
 	// Workload-characterization accumulators (Table I): time-weighted
 	// IPC and per-bound kernel time.
 	ipcWeighted float64
@@ -86,6 +91,25 @@ type Machine struct {
 	proc      int
 	spanMark  int
 	spanStack []uint64
+
+	// Fault-injection state (guarded by mu). With faults nil the launch
+	// and transfer hot paths pay only a nil check. resStats accumulates
+	// for the machine's lifetime (not reset with the clock), so a
+	// multi-attempt experiment cell reads one cumulative tally.
+	faults   *fault.Injector
+	policy   fault.Policy
+	resStats ResilienceStats
+}
+
+// ResilienceStats tallies recovery actions taken on one machine under
+// fault injection. Counts accumulate for the machine's lifetime.
+type ResilienceStats struct {
+	Retries       int     // kernel relaunch attempts after a transient fault
+	WatchdogKills int     // hung kernels killed at the watchdog deadline
+	Fallbacks     int     // launches rerouted to the host CPU
+	Retransmits   int     // CRC-failed PCIe transfers resent
+	DeviceWaits   int     // transfers stalled waiting out a device loss
+	BackoffNs     float64 // virtual time spent in retry backoff
 }
 
 // defaultTracer, when set, is attached to every subsequently-constructed
@@ -360,7 +384,8 @@ func (m *Machine) emitTransferLocked(kind EventKind, name string, bytes int64, n
 
 // LaunchKernel advances the virtual clock by the modeled duration of a
 // kernel with the given cost on the chosen target, and returns the timing
-// breakdown.
+// breakdown. It never consults the fault injector; runtimes that opt into
+// fault injection use LaunchKernelChecked.
 func (m *Machine) LaunchKernel(target Target, name string, cost timing.KernelCost) timing.Result {
 	model := m.accelModel
 	if target == OnHost {
@@ -368,6 +393,14 @@ func (m *Machine) LaunchKernel(target Target, name string, cost timing.KernelCos
 	}
 	r := model.Kernel(cost)
 	m.mu.Lock()
+	m.chargeKernelLocked(target, name, cost, r)
+	m.mu.Unlock()
+	return r
+}
+
+// chargeKernelLocked books a successful kernel launch on the clocks,
+// characterization accumulators, cost log and tracer (mu held).
+func (m *Machine) chargeKernelLocked(target Target, name string, cost timing.KernelCost, r timing.Result) {
 	start := m.clockNs
 	m.clockNs += r.TimeNs
 	m.kernelNs += r.TimeNs
@@ -384,8 +417,74 @@ func (m *Machine) LaunchKernel(target Target, name string, cost timing.KernelCos
 	if m.tracer != nil {
 		m.emitKernelLocked(target, name, cost, r, start)
 	}
-	m.mu.Unlock()
-	return r
+}
+
+// LaunchKernelChecked is LaunchKernel for runtimes that participate in
+// fault injection: with an injector attached and the launch targeting the
+// accelerator, the injector may perturb the launch. A non-nil fault.Event
+// reports what happened; for LaunchFail, Hang and DeviceLost the kernel
+// did not run (the zero Result is returned) and the clock has already been
+// charged for the failed attempt — launch issue cost for transient
+// failures and device loss, the full watchdog deadline for a hang. For
+// BitFlip the launch completed normally (full Result, clock charged) but
+// one output element was silently corrupted; the caller routes the event
+// to its Corruptor. With no injector attached the cost over LaunchKernel
+// is a single nil check.
+func (m *Machine) LaunchKernelChecked(target Target, name string, cost timing.KernelCost) (timing.Result, *fault.Event) {
+	if m.faults == nil || target != OnAccelerator {
+		return m.LaunchKernel(target, name, cost), nil
+	}
+	r := m.accelModel.Kernel(cost)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	kind := m.faults.Launch(m.clockNs)
+	switch kind {
+	case fault.None:
+		m.chargeKernelLocked(target, name, cost, r)
+		return r, nil
+	case fault.BitFlip:
+		// The launch itself succeeds; the corruption is silent until an
+		// end-to-end check notices.
+		m.chargeKernelLocked(target, name, cost, r)
+		if m.tracer != nil {
+			m.tracer.Metrics().Add(trace.CtrFaultPrefix+string(kind), 1)
+		}
+		return r, &fault.Event{Kind: kind, Op: name}
+	case fault.Hang:
+		// The kernel never completes; the watchdog kills it at the
+		// deadline, so the full deadline is lost.
+		m.resStats.WatchdogKills++
+		m.chargeFaultLocked(trace.TrackAccelerator, name+" [hang]", m.policy.WatchdogNs)
+		if m.tracer != nil {
+			reg := m.tracer.Metrics()
+			reg.Add(trace.CtrFaultPrefix+string(kind), 1)
+			reg.Add(trace.CtrWatchdogKills, 1)
+		}
+		return timing.Result{}, &fault.Event{Kind: kind, Op: name}
+	default: // LaunchFail, DeviceLost: the launch is rejected at issue.
+		m.chargeFaultLocked(trace.TrackAccelerator, name+" ["+string(kind)+"]", r.LaunchNs)
+		if m.tracer != nil {
+			m.tracer.Metrics().Add(trace.CtrFaultPrefix+string(kind), 1)
+		}
+		return timing.Result{}, &fault.Event{Kind: kind, Op: name}
+	}
+}
+
+// chargeFaultLocked advances the clock by ns of fault/recovery time,
+// booking it on the fault split clock and, when traced, emitting a
+// KindFault span plus the fault.ns counter (mu held).
+func (m *Machine) chargeFaultLocked(track, name string, ns float64) {
+	start := m.clockNs
+	m.clockNs += ns
+	m.faultNs += ns
+	if m.tracer != nil {
+		m.tracer.Emit(trace.Span{
+			Parent: m.parentLocked(), Proc: m.proc,
+			Track: track, Name: name, Kind: trace.KindFault,
+			StartNs: start, DurNs: ns,
+		})
+		m.tracer.Metrics().Add(trace.CtrFaultNs, ns)
+	}
 }
 
 // LoggedCost is one recorded kernel launch (see EnableCostLog).
@@ -465,6 +564,10 @@ func (m *Machine) TransferFromDevice(name string, bytes int64) float64 {
 	return m.transfer(EvDeviceToHost, name, bytes)
 }
 
+// maxRetransmits caps CRC-retry loops on one transfer so a pathological
+// corruption rate still terminates.
+const maxRetransmits = 64
+
 func (m *Machine) transfer(kind EventKind, name string, bytes int64) float64 {
 	if bytes < 0 {
 		panic(fmt.Sprintf("sim: negative transfer %d", bytes))
@@ -480,6 +583,28 @@ func (m *Machine) transfer(kind EventKind, name string, bytes int64) float64 {
 		ns = us * 1e3
 	}
 	m.mu.Lock()
+	if m.faults != nil && m.link != nil {
+		// A DMA engine cannot move data while the device is gone: stall
+		// until the loss window closes, booking the wait as fault time.
+		if until := m.faults.LostUntilNs(); until > m.clockNs {
+			m.resStats.DeviceWaits++
+			m.chargeFaultLocked(trace.TrackPCIe, name+" [device-wait]", until-m.clockNs)
+		}
+		// Each CRC-failed attempt burns a full pass over the wire before
+		// the receiver rejects it and requests retransmission.
+		for i := 0; i < maxRetransmits; i++ {
+			if m.faults.Transfer(m.clockNs) != fault.TransferCorrupt {
+				break
+			}
+			m.resStats.Retransmits++
+			m.chargeFaultLocked(trace.TrackPCIe, name+" [retransmit]", ns)
+			if m.tracer != nil {
+				reg := m.tracer.Metrics()
+				reg.Add(trace.CtrFaultPrefix+string(fault.TransferCorrupt), 1)
+				reg.Add(trace.CtrRetransmits, 1)
+			}
+		}
+	}
 	start := m.clockNs
 	m.clockNs += ns
 	m.transferNs += ns
@@ -527,6 +652,92 @@ func (m *Machine) AddTransferTime(name string, ns float64) {
 	m.transferNs += ns
 	if m.tracer != nil {
 		m.emitTransferLocked(EvHostToDevice, name, 0, ns, start)
+	}
+	m.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------
+// Fault injection.
+
+// SetFaultInjector attaches a fault injector and the resilience policy
+// whose machine-level parameters (the watchdog deadline) govern how
+// injected faults are charged. Panics on a nil injector or invalid policy;
+// use ClearFaultInjector to detach.
+func (m *Machine) SetFaultInjector(inj *fault.Injector, pol fault.Policy) {
+	if inj == nil {
+		panic("sim: SetFaultInjector(nil); use ClearFaultInjector")
+	}
+	if err := pol.Validate(); err != nil {
+		panic(fmt.Sprintf("sim: bad fault policy: %v", err))
+	}
+	m.mu.Lock()
+	m.faults, m.policy = inj, pol
+	m.mu.Unlock()
+}
+
+// ClearFaultInjector detaches the injector; subsequent launches and
+// transfers run fault-free.
+func (m *Machine) ClearFaultInjector() {
+	m.mu.Lock()
+	m.faults = nil
+	m.mu.Unlock()
+}
+
+// FaultInjector returns the attached injector, or nil.
+func (m *Machine) FaultInjector() *fault.Injector {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.faults
+}
+
+// FaultPolicy returns the policy attached with the injector (the zero
+// Policy when none is attached).
+func (m *Machine) FaultPolicy() fault.Policy {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.policy
+}
+
+// FaultNs returns the virtual time lost to injected faults and their
+// recovery since the last reset.
+func (m *Machine) FaultNs() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.faultNs
+}
+
+// Resilience returns the machine-lifetime recovery-action tallies.
+func (m *Machine) Resilience() ResilienceStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.resStats
+}
+
+// ChargeBackoffNs books one retry's backoff delay: the runtime waited ns
+// of virtual time before relaunching a failed kernel.
+func (m *Machine) ChargeBackoffNs(name string, ns float64) {
+	if ns < 0 {
+		panic(fmt.Sprintf("sim: negative backoff %g", ns))
+	}
+	m.mu.Lock()
+	m.resStats.Retries++
+	m.resStats.BackoffNs += ns
+	m.chargeFaultLocked(trace.TrackAccelerator, name+" [backoff]", ns)
+	if m.tracer != nil {
+		reg := m.tracer.Metrics()
+		reg.Add(trace.CtrRetries, 1)
+		reg.Add(trace.CtrBackoffNs, ns)
+	}
+	m.mu.Unlock()
+}
+
+// NoteFallback records that one launch was rerouted to the host CPU after
+// exhausting its retry budget.
+func (m *Machine) NoteFallback(name string) {
+	m.mu.Lock()
+	m.resStats.Fallbacks++
+	if m.tracer != nil {
+		m.tracer.Metrics().Add(trace.CtrFallbacks, 1)
 	}
 	m.mu.Unlock()
 }
@@ -587,9 +798,15 @@ func (m *Machine) Events() []Event {
 // survive a reset.
 func (m *Machine) ResetClock() {
 	m.mu.Lock()
-	m.clockNs, m.kernelNs, m.transferNs = 0, 0, 0
+	m.clockNs, m.kernelNs, m.transferNs, m.faultNs = 0, 0, 0, 0
 	m.ipcWeighted = 0
 	m.boundNs = nil
+	if m.faults != nil {
+		// A device-loss window is anchored to the virtual clock; resetting
+		// the clock without closing the window would leak the outage into
+		// the next (re-zeroed) run.
+		m.faults.ResetWindow()
+	}
 	if m.tracer != nil {
 		m.spanMark = m.tracer.Len()
 	}

@@ -49,7 +49,10 @@ func trackTid(track string, extra map[string]int) int {
 // one pid per registered machine, one tid per virtual-clock track
 // (phases/host/accelerator/pcie), with process_name and thread_name
 // metadata so Perfetto labels the rows. Complete ("X") events are sorted
-// by start time per track, so per-track timestamps are monotone.
+// by start time per track, so per-track timestamps are monotone. The
+// run-wide counter registry rides along as a "hetbench_counters"
+// metadata event (args hold the full snapshot, kernel/transfer/fault
+// counters included).
 func WriteChrome(w io.Writer, t *Tracer) error {
 	spans := ByStart(t.Spans())
 	procs := t.Processes()
@@ -59,6 +62,15 @@ func WriteChrome(w io.Writer, t *Tracer) error {
 		out.TraceEvents = append(out.TraceEvents, chromeEvent{
 			Name: "process_name", Ph: "M", Pid: pid,
 			Args: map[string]interface{}{"name": name},
+		})
+	}
+	if snap := t.Metrics().Snapshot(); len(snap) > 0 {
+		args := make(map[string]interface{}, len(snap))
+		for k, v := range snap {
+			args[k] = v
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "hetbench_counters", Ph: "M", Pid: 0, Args: args,
 		})
 	}
 

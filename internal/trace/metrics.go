@@ -23,7 +23,21 @@ const (
 	CtrDPFlops        = "flops.dp"
 	CtrInstrs         = "instrs"
 	CtrEnergyJ        = "energy.j"
+
+	// Fault-injection and resilience counters (see internal/fault). Each
+	// injected fault also increments a per-kind counter named
+	// CtrFaultPrefix + kind ("fault.launch-fail", "fault.hang", ...).
+	CtrFaultNs       = "fault.ns"              // virtual time lost to faults + recovery
+	CtrRetries       = "resilience.retries"    // kernel relaunch attempts
+	CtrBackoffNs     = "resilience.backoff.ns" // virtual time spent backing off
+	CtrWatchdogKills = "resilience.watchdog"   // hung kernels killed
+	CtrFallbacks     = "resilience.fallbacks"  // launches rerouted to the host CPU
+	CtrRetransmits   = "resilience.retransmit" // CRC-failed transfers resent
+	CtrSDCRedos      = "resilience.sdc.redos"  // whole-run redos on checksum mismatch
 )
+
+// CtrFaultPrefix prefixes the per-kind injected-fault counters.
+const CtrFaultPrefix = "fault."
 
 // Registry is a concurrent map of monotonically-accumulating counters and
 // last-write-wins gauges. The zero value is ready to use.

@@ -33,6 +33,9 @@ const (
 	KindKernel     Kind = "kernel"
 	KindTransfer   Kind = "transfer"
 	KindBarrier    Kind = "barrier"
+	// KindFault marks virtual time lost to an injected fault or its
+	// recovery (failed launch, watchdog wait, backoff, retransmission).
+	KindFault Kind = "fault"
 )
 
 // Track names used by the simulator. Each machine (process) renders these
