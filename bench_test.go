@@ -12,6 +12,7 @@ import (
 	"hetbench/internal/fault"
 	"hetbench/internal/harness"
 	"hetbench/internal/models/modelapi"
+	"hetbench/internal/sched"
 	"hetbench/internal/sim"
 	"hetbench/internal/sim/timing"
 	"hetbench/internal/sloc"
@@ -184,6 +185,38 @@ func BenchmarkFaultOverhead(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			m.LaunchKernelChecked(sim.OnAccelerator, "bench", cost)
+		}
+	})
+}
+
+// BenchmarkSchedulerOverhead measures the split-launch path with no
+// co-execution planner attached (the default: one nil check, then the
+// caller falls back to the single-device launch — exactly the routing the
+// runtimes perform under WithCoexec) against the same path with a dynamic
+// scheduler splitting every launch. The "off" case is the regression gate:
+// an unattached scheduler must cost nothing beyond the nil check.
+func BenchmarkSchedulerOverhead(b *testing.B) {
+	cost := timing.KernelCost{
+		Items: 1 << 16, SPFlops: 32, LoadBytes: 24, StoreBytes: 8,
+		Instrs: 48, MissRate: 0.2, Coalesce: 0.9,
+	}
+	b.Run("off", func(b *testing.B) {
+		m := sim.NewDGPU()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := m.LaunchKernelSplit("bench", cost, cost); !ok {
+				m.LaunchKernelChecked(sim.OnAccelerator, "bench", cost)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		m := sim.NewDGPU()
+		m.SetCoexec(sched.New(sched.Config{Policy: sched.Dynamic}))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.LaunchKernelSplit("bench", cost, cost)
 		}
 	})
 }

@@ -8,10 +8,11 @@
 //	hetbench -exp all  [-scale default]
 //	hetbench -exp fig9 -trace out.json     # capture a Chrome/Perfetto trace
 //	hetbench -exp faults -seed 7           # seeded fault-injection sweep
+//	hetbench -exp coexec -seed 1           # CPU+accelerator co-execution sweep
 //
 // Experiment ids: table1 table2 table3 table4 fig7 fig8 fig9 fig10 fig11
 // hc tiles dataregion gridtype scaling profile roofline energy trace
-// faults, or "all".
+// faults coexec, or "all". "-exp list" is an alias for -list.
 package main
 
 import (
@@ -48,6 +49,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	reg := harness.Registry()
+	if *exp == "list" {
+		// "list" is not an experiment id; treat -exp list as -list.
+		*list = true
+	}
 	if *list {
 		if *traceOut != "" {
 			fmt.Fprintln(stderr, "-list cannot be combined with -trace")

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -42,10 +43,47 @@ func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("run(-list) = %d, stderr: %s", code, stderr.String())
 	}
-	for _, id := range []string{"table1", "fig8", "faults"} {
+	for _, id := range []string{"table1", "fig8", "faults", "coexec"} {
 		if !strings.Contains(stdout.String(), id) {
 			t.Errorf("-list output missing experiment %q", id)
 		}
+	}
+}
+
+// -exp list (an alias for -list) prints the experiment ids in sorted
+// order, stably across invocations, and includes the coexec extension.
+func TestRunExpListSortedAndStable(t *testing.T) {
+	render := func() string {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-exp", "list"}, &stdout, &stderr); code != 0 {
+			t.Fatalf("run(-exp list) = %d, stderr: %s", code, stderr.String())
+		}
+		return stdout.String()
+	}
+	a := render()
+	if a != render() {
+		t.Fatal("two -exp list invocations produced different output")
+	}
+	var ids []string
+	for _, line := range strings.Split(a, "\n") {
+		// Id lines start at column 0; description lines are indented.
+		if line == "" || strings.HasPrefix(line, " ") {
+			continue
+		}
+		ids = append(ids, strings.Fields(line)[0])
+	}
+	if len(ids) == 0 {
+		t.Fatalf("-exp list printed no experiment ids:\n%s", a)
+	}
+	if !sort.StringsAreSorted(ids) {
+		t.Errorf("-exp list ids not sorted: %v", ids)
+	}
+	found := false
+	for _, id := range ids {
+		found = found || id == "coexec"
+	}
+	if !found {
+		t.Errorf("-exp list ids missing coexec: %v", ids)
 	}
 }
 
@@ -76,5 +114,22 @@ func TestRunFaultsSeedDeterminism(t *testing.T) {
 	}
 	if render("2") == a {
 		t.Fatal("-seed 2 reproduced -seed 1's output exactly")
+	}
+}
+
+// The coexec determinism contract end to end: the partitioners draw no
+// randomness, so two same-seed runs are bit-identical (CI diffs the same
+// pair of invocations).
+func TestRunCoexecSeedDeterminism(t *testing.T) {
+	render := func() string {
+		var stdout, stderr bytes.Buffer
+		args := []string{"-exp", "coexec", "-scale", "smoke", "-seed", "1"}
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("run(%v) = %d, stderr: %s", args, code, stderr.String())
+		}
+		return stdout.String()
+	}
+	if render() != render() {
+		t.Fatal("two -seed 1 coexec runs produced different output")
 	}
 }

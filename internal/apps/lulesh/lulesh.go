@@ -276,7 +276,7 @@ func (p *Problem) RunOpenCL(m *sim.Machine) appcore.Result {
 	m.ResetClock()
 	s := NewState(p.Mesh)
 	st := newStepper(s, p.Precision)
-	ctx := opencl.NewContext(m)
+	ctx := opencl.NewContext(m).WithCoexec()
 	q := ctx.NewQueue()
 	ctx.Bind("lulesh.e", s.E)
 
@@ -309,7 +309,7 @@ func (p *Problem) RunCppAMP(m *sim.Machine) appcore.Result {
 	m.ResetClock()
 	s := NewState(p.Mesh)
 	st := newStepper(s, p.Precision)
-	rt := cppamp.New(m)
+	rt := cppamp.New(m).WithCoexec()
 	rt.Bind("lulesh.e", s.E)
 
 	views := map[string]*cppamp.ArrayView{}
@@ -340,7 +340,7 @@ func (p *Problem) RunOpenACC(m *sim.Machine) appcore.Result {
 	m.ResetClock()
 	s := NewState(p.Mesh)
 	st := newStepper(s, p.Precision)
-	rt := openacc.New(m)
+	rt := openacc.New(m).WithCoexec()
 	rt.Bind("lulesh.e", s.E)
 
 	var clauses []openacc.Clause

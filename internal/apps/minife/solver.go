@@ -350,7 +350,7 @@ func (p *Problem) RunOpenMP(m *sim.Machine) SolveResult {
 // RunOpenCL uses the CSR-Adaptive SpMV with explicit staging.
 func (p *Problem) RunOpenCL(m *sim.Machine) SolveResult {
 	m.ResetClock()
-	ctx := opencl.NewContext(m)
+	ctx := opencl.NewContext(m).WithCoexec()
 	q := ctx.NewQueue()
 	mat, vecs := p.matrixBytes()
 	q.EnqueueWriteBuffer(ctx.CreateBuffer("minife.matrix", mat))
@@ -367,7 +367,7 @@ func (p *Problem) RunOpenCL(m *sim.Machine) SolveResult {
 // RunCppAMP uses tiled CSR-Adaptive via tile_static staging.
 func (p *Problem) RunCppAMP(m *sim.Machine) SolveResult {
 	m.ResetClock()
-	rt := cppamp.New(m)
+	rt := cppamp.New(m).WithCoexec()
 	mat, vecs := p.matrixBytes()
 	elt := int64(appcore.EltBytes(p.Precision))
 	nPart := int64((p.A.NumRows + dotBlock - 1) / dotBlock)
@@ -390,7 +390,7 @@ func (p *Problem) RunCppAMP(m *sim.Machine) SolveResult {
 // explanation for the OpenACC slowdown on miniFE.
 func (p *Problem) RunOpenACC(m *sim.Machine) SolveResult {
 	m.ResetClock()
-	rt := openacc.New(m)
+	rt := openacc.New(m).WithCoexec()
 	mat, vecs := p.matrixBytes()
 	elt := int64(appcore.EltBytes(p.Precision))
 	nPart := int64((p.A.NumRows + dotBlock - 1) / dotBlock)

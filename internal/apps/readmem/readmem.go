@@ -151,7 +151,7 @@ func (p *Problem) RunOpenMP(m *sim.Machine) appcore.Result {
 // an NDRange launch.
 func (p *Problem) RunOpenCL(m *sim.Machine) appcore.Result {
 	m.ResetClock()
-	ctx := opencl.NewContext(m)
+	ctx := opencl.NewContext(m).WithCoexec()
 	q := ctx.NewQueue()
 	bufIn := ctx.CreateBuffer("read.in", p.bytesIn())
 	bufOut := ctx.CreateBuffer("read.out", p.bytesOut())
@@ -169,7 +169,7 @@ func (p *Problem) RunOpenCL(m *sim.Machine) appcore.Result {
 // parallel_for_each over a tiled extent.
 func (p *Problem) RunCppAMP(m *sim.Machine) appcore.Result {
 	m.ResetClock()
-	rt := cppamp.New(m)
+	rt := cppamp.New(m).WithCoexec()
 	avIn := rt.NewArrayView("read.in", p.bytesIn())
 	avOut := rt.NewArrayView("read.out", p.bytesOut())
 	out := make([]float64, p.Cfg.Blocks)
@@ -185,7 +185,7 @@ func (p *Problem) RunCppAMP(m *sim.Machine) appcore.Result {
 // data movement left to the compiler.
 func (p *Problem) RunOpenACC(m *sim.Machine) appcore.Result {
 	m.ResetClock()
-	rt := openacc.New(m)
+	rt := openacc.New(m).WithCoexec()
 	out := make([]float64, p.Cfg.Blocks)
 	rt.Bind("read.out", out)
 	uses := []openacc.Clause{

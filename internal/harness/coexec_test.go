@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hetbench/internal/apps/readmem"
+)
+
+// findCell pulls one (machine, app, partitioner) cell out of a sweep.
+func findCell(t *testing.T, cells []CoexecCell, machine, app, part string) CoexecCell {
+	t.Helper()
+	for _, c := range cells {
+		if c.Machine == machine && c.App == app && c.Partition == part {
+			return c
+		}
+	}
+	t.Fatalf("no cell for %s/%s/%s", machine, app, part)
+	return CoexecCell{}
+}
+
+// The ISSUE acceptance criterion: on the memory-bound readmem workload the
+// dynamic partitioner's simulated time beats the worst static split on both
+// machines.
+func TestCoexecDynamicBeatsWorstStatic(t *testing.T) {
+	cells := CoexecData(ScaleSmoke)
+	for _, mach := range []string{"APU", "dGPU"} {
+		worst := 0.0
+		for _, part := range []string{"static", "static25", "static75"} {
+			if ns := findCell(t, cells, mach, readmem.AppName, part).Result.ElapsedNs; ns > worst {
+				worst = ns
+			}
+		}
+		dyn := findCell(t, cells, mach, readmem.AppName, "dynamic").Result.ElapsedNs
+		if dyn >= worst {
+			t.Errorf("%s: dynamic readmem %.0f ns did not beat worst static %.0f ns", mach, dyn, worst)
+		}
+	}
+}
+
+// Every scheduled cell must actually split work (both stats populated and
+// all launched items accounted for somewhere) without breaking the app:
+// the checksum must match the gpu-only baseline's.
+func TestCoexecCellsSplitAndStayCorrect(t *testing.T) {
+	cells := CoexecData(ScaleSmoke)
+	for _, c := range cells {
+		if c.Partition == "gpu-only" {
+			continue
+		}
+		if c.Stats.Splits == 0 || c.Stats.HostItems+c.Stats.AccelItems == 0 {
+			t.Errorf("%s/%s/%s: no splits recorded: %+v", c.Machine, c.App, c.Partition, c.Stats)
+		}
+		base := findCell(t, cells, c.Machine, c.App, "gpu-only")
+		if c.Result.Checksum != base.Result.Checksum {
+			t.Errorf("%s/%s/%s: checksum %g != gpu-only %g",
+				c.Machine, c.App, c.Partition, c.Result.Checksum, base.Result.Checksum)
+		}
+	}
+}
+
+// Two sweeps under the same seed and scale must be identical cell by cell —
+// the coexec experiment's -seed determinism contract.
+func TestCoexecDeterminism(t *testing.T) {
+	a := CoexecData(ScaleSmoke)
+	b := CoexecData(ScaleSmoke)
+	if len(a) != len(b) {
+		t.Fatalf("sweep lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("cell %d differs:\n  %+v\n  %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// RunCoexec renders one table per machine and mentions the seed contract.
+func TestRunCoexecOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunCoexec(ScaleSmoke, &buf); err != nil {
+		t.Fatalf("RunCoexec: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Co-execution on the APU", "Co-execution on the dGPU", "seed", "hguided", "dynamic", "gpu-only"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("coexec output missing %q", want)
+		}
+	}
+}

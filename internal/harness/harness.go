@@ -167,6 +167,8 @@ func Registry() map[string]Experiment {
 			"LULESH under each GPU model on the dGPU: per-iteration Gantt charts, span aggregates and run counters (exposes the C++ AMP CPU-fallback kernel)", RunTrace},
 		{"faults", "Extension: fault injection and resilience",
 			"LULESH under each GPU model on the dGPU across a seeded fault-rate sweep: completed-run rate, recovery overhead, retries, watchdog kills and host fallbacks per model", RunFaults},
+		{"coexec", "Extension: CPU+accelerator co-execution",
+			"readmem, LULESH and miniFE split across host CPU and accelerator on both machines under static, dynamic and HGuided partitioning, vs the accelerator alone", RunCoexec},
 	}
 	m := make(map[string]Experiment, len(exps))
 	for _, e := range exps {
@@ -187,7 +189,7 @@ func IDs() []string {
 
 // RunAll executes every experiment in order.
 func RunAll(scale Scale, w io.Writer) error {
-	order := []string{"table1", "table2", "table3", "table4", "fig7", "fig8", "fig9", "fig10", "fig11", "hc", "tiles", "dataregion", "gridtype", "scaling", "profile", "roofline", "energy", "trace", "faults"}
+	order := []string{"table1", "table2", "table3", "table4", "fig7", "fig8", "fig9", "fig10", "fig11", "hc", "tiles", "dataregion", "gridtype", "scaling", "profile", "roofline", "energy", "trace", "faults", "coexec"}
 	reg := Registry()
 	for _, id := range order {
 		e := reg[id]

@@ -27,6 +27,7 @@ type Runtime struct {
 	profile *modelapi.Profile
 	cache   map[string]exec.Counters
 	corrupt fault.Corruptor
+	coexec  bool
 }
 
 // New returns an AMP runtime for the machine.
@@ -40,6 +41,15 @@ func New(machine *sim.Machine) *Runtime {
 
 // Machine returns the bound machine.
 func (r *Runtime) Machine() *sim.Machine { return r.machine }
+
+// WithCoexec opts this runtime's streaming and regular kernels into
+// CPU+accelerator co-execution whenever a planner is attached to the
+// machine (sim.Machine.SetCoexec); without one, launches are unchanged.
+// Irregular kernels always stay single-device.
+func (r *Runtime) WithCoexec() *Runtime {
+	r.coexec = true
+	return r
+}
 
 // Bind registers an output array as a silent-corruption target (see
 // fault.Corruptor). Apps re-bind per run.
@@ -183,6 +193,12 @@ func (r *Runtime) stageAll(views []*ArrayView) {
 // nil check.
 func (r *Runtime) launchResilient(spec modelapi.KernelSpec, n int, per exec.Counters, cost timing.KernelCost, views []*ArrayView) timing.Result {
 	m := r.machine
+	if r.coexec && spec.Class != modelapi.Irregular {
+		hostCost := spec.Cost(modelapi.ProfileFor(modelapi.OpenMP), n, per)
+		if res, ok := m.LaunchKernelSplit(spec.Name, cost, hostCost); ok {
+			return res
+		}
+	}
 	res, ev := m.LaunchKernelChecked(sim.OnAccelerator, spec.Name, cost)
 	if ev == nil {
 		return res

@@ -33,6 +33,7 @@ type Runtime struct {
 	regions []*DataRegion
 	cache   map[string]exec.Counters
 	corrupt fault.Corruptor
+	coexec  bool
 }
 
 // New returns an OpenACC runtime for the machine.
@@ -46,6 +47,16 @@ func New(machine *sim.Machine) *Runtime {
 
 // Machine returns the bound machine.
 func (r *Runtime) Machine() *sim.Machine { return r.machine }
+
+// WithCoexec opts this runtime's streaming and regular loops into
+// CPU+accelerator co-execution whenever a planner is attached to the
+// machine (sim.Machine.SetCoexec); without one, launches are unchanged.
+// Irregular loops always stay single-device — the directive compiler's
+// scalar fallback makes the host share worthless there.
+func (r *Runtime) WithCoexec() *Runtime {
+	r.coexec = true
+	return r
+}
 
 // Bind registers an output array as a silent-corruption target (see
 // fault.Corruptor). Apps re-bind per run.
@@ -240,6 +251,12 @@ func (r *Runtime) finishLoopDerated(spec modelapi.KernelSpec, n int, uses []Clau
 // no injector attached this is LaunchKernel plus a nil check.
 func (r *Runtime) launchResilient(spec modelapi.KernelSpec, n int, per exec.Counters, cost timing.KernelCost, uses []Clause) timing.Result {
 	m := r.machine
+	if r.coexec && spec.Class != modelapi.Irregular {
+		hostCost := spec.Cost(modelapi.ProfileFor(modelapi.OpenMP), n, per)
+		if res, ok := m.LaunchKernelSplit(spec.Name, cost, hostCost); ok {
+			return res
+		}
+	}
 	res, ev := m.LaunchKernelChecked(sim.OnAccelerator, spec.Name, cost)
 	if ev == nil {
 		return res

@@ -24,6 +24,7 @@ type Context struct {
 	profile *modelapi.Profile
 	cache   map[string]exec.Counters
 	corrupt fault.Corruptor
+	coexec  bool
 }
 
 // NewContext initializes the runtime for a machine (the InitCl() of
@@ -38,6 +39,16 @@ func NewContext(machine *sim.Machine) *Context {
 
 // Machine returns the bound machine.
 func (c *Context) Machine() *sim.Machine { return c.machine }
+
+// WithCoexec opts this context's streaming and regular kernels into
+// CPU+accelerator co-execution whenever a planner is attached to the
+// machine (sim.Machine.SetCoexec); without one, launches are unchanged.
+// Irregular kernels always stay single-device, matching the paper's
+// observation that generated code quality collapses on them.
+func (c *Context) WithCoexec() *Context {
+	c.coexec = true
+	return c
+}
 
 // Bind registers an output array as a silent-corruption target: when the
 // fault injector flips a bit in a kernel's output, the flip lands in a
@@ -223,6 +234,12 @@ func (q *Queue) ReplayNDRange(k *Kernel, global int) timing.Result {
 // this is LaunchKernel plus one nil check.
 func (c *Context) launchResilient(spec modelapi.KernelSpec, global int, per exec.Counters, cost timing.KernelCost, args []*Buffer) timing.Result {
 	m := c.machine
+	if c.coexec && spec.Class != modelapi.Irregular {
+		hostCost := spec.Cost(modelapi.ProfileFor(modelapi.OpenMP), global, per)
+		if res, ok := m.LaunchKernelSplit(spec.Name, cost, hostCost); ok {
+			return res
+		}
+	}
 	r, ev := m.LaunchKernelChecked(sim.OnAccelerator, spec.Name, cost)
 	if ev == nil {
 		return r

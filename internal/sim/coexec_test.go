@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"hetbench/internal/sim/timing"
+	"hetbench/internal/trace"
+)
+
+// halfAndHalf splits every launch evenly — the minimal planner for
+// machine-side tests (the real policies live in internal/sched).
+type halfAndHalf struct{ calls int }
+
+func (p *halfAndHalf) LaunchSplit(m *Machine, l CoexecLaunch) timing.Result {
+	p.calls++
+	q := m.BeginCoexec()
+	h := l.Host
+	h.Items = l.Host.Items / 2
+	a := l.Accel
+	a.Items = l.Accel.Items - h.Items
+	q.RunChunk(OnAccelerator, l.Name, a)
+	q.RunChunk(OnHost, l.Name, h)
+	wall := q.Merge()
+	return timing.Result{TimeNs: wall}
+}
+
+func TestLaunchKernelSplitWithoutPlanner(t *testing.T) {
+	m := NewDGPU()
+	if _, ok := m.LaunchKernelSplit("k", cost(), cost()); ok {
+		t.Fatal("split launch reported ok with no planner attached")
+	}
+	if m.ElapsedNs() != 0 {
+		t.Error("declined split launch advanced the clock")
+	}
+}
+
+func TestSetCoexecRoutesLaunches(t *testing.T) {
+	m := NewDGPU()
+	p := &halfAndHalf{}
+	m.SetCoexec(p)
+	if m.Coexec() == nil {
+		t.Fatal("Coexec() nil after SetCoexec")
+	}
+	r, ok := m.LaunchKernelSplit("k", cost(), cost())
+	if !ok || p.calls != 1 {
+		t.Fatalf("split launch ok=%v planner calls=%d, want routed once", ok, p.calls)
+	}
+	if r.TimeNs <= 0 || m.ElapsedNs() != r.TimeNs {
+		t.Errorf("merged result %g ns vs clock %g ns", r.TimeNs, m.ElapsedNs())
+	}
+	m.ClearCoexec()
+	if _, ok := m.LaunchKernelSplit("k", cost(), cost()); ok {
+		t.Error("split launch still routed after ClearCoexec")
+	}
+}
+
+// The queue pair must overlap the two devices: the merged clock advance is
+// the longer queue, not the sum, and both clocks beat the single-device
+// alternative for this even split.
+func TestCoexecQueueOverlapsDevices(t *testing.T) {
+	m := NewDGPU()
+	q := m.BeginCoexec()
+	ra := q.RunChunk(OnAccelerator, "k", cost())
+	rh := q.RunChunk(OnHost, "k", cost())
+	wall := q.Merge()
+	longer, shorter := ra.TimeNs, rh.TimeNs
+	if shorter > longer {
+		longer, shorter = shorter, longer
+	}
+	if wall != longer {
+		t.Errorf("merge advanced %g ns, want the longer queue %g ns", wall, longer)
+	}
+	if m.ElapsedNs() != wall || m.KernelNs() != wall {
+		t.Errorf("clock %g / kernel %g ns, want both %g", m.ElapsedNs(), m.KernelNs(), wall)
+	}
+}
+
+// Later chunks on one in-order queue are enqueued while their predecessor
+// runs, so only the first exposes the fixed launch overhead.
+func TestCoexecQueuePipelinesLaunchOverhead(t *testing.T) {
+	m := NewDGPU()
+	q := m.BeginCoexec()
+	first := q.RunChunk(OnAccelerator, "k", cost())
+	second := q.RunChunk(OnAccelerator, "k", cost())
+	if first.LaunchNs <= 0 {
+		t.Fatal("first chunk carries no launch overhead")
+	}
+	if second.LaunchNs != 0 {
+		t.Errorf("second chunk still charged %g ns launch overhead", second.LaunchNs)
+	}
+	if got, want := first.TimeNs-second.TimeNs, first.LaunchNs; got != want {
+		t.Errorf("pipelining saved %g ns, want the launch overhead %g ns", got, want)
+	}
+}
+
+// Co-executed chunks must appear as overlapping spans on the two device
+// tracks, both starting at the queue-pair origin.
+func TestCoexecQueueEmitsOverlappingSpans(t *testing.T) {
+	m := NewDGPU()
+	tr := trace.New()
+	m.SetTracer(tr)
+	m.LaunchKernel(OnAccelerator, "warm", cost()) // offset the queue start
+	q := m.BeginCoexec()
+	q.RunChunk(OnAccelerator, "split", cost())
+	q.RunChunk(OnHost, "split", cost())
+	q.Merge()
+
+	var host, accel *trace.Span
+	for _, s := range tr.Spans() {
+		s := s
+		if !strings.HasPrefix(s.Name, "split#") {
+			continue
+		}
+		switch s.Track {
+		case trace.TrackHost:
+			host = &s
+		case trace.TrackAccelerator:
+			accel = &s
+		}
+	}
+	if host == nil || accel == nil {
+		t.Fatalf("missing chunk spans (host=%v accel=%v)", host != nil, accel != nil)
+	}
+	if host.StartNs != accel.StartNs {
+		t.Errorf("chunk spans start at %g and %g ns, want the shared queue origin", host.StartNs, accel.StartNs)
+	}
+	if host.StartNs != q.StartNs() || q.StartNs() <= 0 {
+		t.Errorf("spans start at %g ns, want queue origin %g ns (after warmup)", host.StartNs, q.StartNs())
+	}
+	// Overlap: each span begins before the other ends.
+	if host.StartNs >= accel.StartNs+accel.DurNs || accel.StartNs >= host.StartNs+host.DurNs {
+		t.Error("host and accelerator chunks do not overlap in virtual time")
+	}
+	if got := tr.Metrics().Get(trace.CtrSchedSplits); got != 1 {
+		t.Errorf("sched.splits = %g, want 1", got)
+	}
+}
+
+func TestSetCoexecNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetCoexec(nil) did not panic")
+		}
+	}()
+	NewDGPU().SetCoexec(nil)
+}

@@ -99,6 +99,10 @@ type Machine struct {
 	faults   *fault.Injector
 	policy   fault.Policy
 	resStats ResilienceStats
+
+	// Co-execution planner (guarded by mu). With coexec nil the split
+	// launch path pays only a nil check (see LaunchKernelSplit).
+	coexec CoexecPlanner
 }
 
 // ResilienceStats tallies recovery actions taken on one machine under

@@ -34,6 +34,18 @@ const (
 	CtrFallbacks     = "resilience.fallbacks"  // launches rerouted to the host CPU
 	CtrRetransmits   = "resilience.retransmit" // CRC-failed transfers resent
 	CtrSDCRedos      = "resilience.sdc.redos"  // whole-run redos on checksum mismatch
+
+	// Co-execution scheduler counters (see internal/sched): published per
+	// split launch so a trace capture shows how the iteration space was
+	// carved between the host CPU and the accelerator.
+	CtrSchedSplits      = "sched.splits"       // launches split across both devices
+	CtrSchedChunks      = "sched.chunks"       // chunks booked (both devices)
+	CtrSchedHostItems   = "sched.host.items"   // work items run on the host CPU
+	CtrSchedAccelItems  = "sched.accel.items"  // work items run on the accelerator
+	CtrSchedHostNs      = "sched.host.ns"      // host queue busy time
+	CtrSchedAccelNs     = "sched.accel.ns"     // accelerator queue busy time
+	CtrSchedImbalanceNs = "sched.imbalance.ns" // |host busy - accel busy| per split
+	CtrSchedMigrated    = "sched.migrated"     // chunks migrated host-ward on device loss
 )
 
 // CtrFaultPrefix prefixes the per-kind injected-fault counters.
