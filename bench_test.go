@@ -7,10 +7,12 @@ package hetbench_test
 // tables (use -scale paper for the paper's sizes).
 
 import (
+	"runtime"
 	"testing"
 
 	"hetbench/internal/fault"
 	"hetbench/internal/harness"
+	"hetbench/internal/harness/runner"
 	"hetbench/internal/models/modelapi"
 	"hetbench/internal/sched"
 	"hetbench/internal/sim"
@@ -254,4 +256,29 @@ func BenchmarkTraceOverhead(b *testing.B) {
 			m.LaunchKernel(sim.OnAccelerator, "bench", cost)
 		}
 	})
+}
+
+// BenchmarkRunnerSpeedup measures the experiment runner's worker-pool win
+// on the figure sweep: the same SpeedupData cells serially and on every
+// CPU. The ns/op ratio between the sub-benchmarks is the observed speedup;
+// the merged results are byte-identical either way (see TestGolden).
+func BenchmarkRunnerSpeedup(b *testing.B) {
+	bench := func(jobs int) func(*testing.B) {
+		return func(b *testing.B) {
+			old := runner.Jobs()
+			runner.SetJobs(jobs)
+			defer runner.SetJobs(old)
+			runner.ResetStats()
+			for i := 0; i < b.N; i++ {
+				cells := harness.SpeedupData(harness.ScaleSmall, sim.NewDGPU)
+				if len(cells) == 0 {
+					b.Fatal("empty sweep")
+				}
+			}
+			st := runner.TotalStats()
+			b.ReportMetric(st.Speedup(), "pool-speedup")
+		}
+	}
+	b.Run("jobs-1", bench(1))
+	b.Run("jobs-ncpu", bench(runtime.NumCPU()))
 }

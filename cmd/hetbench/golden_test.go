@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hetbench/internal/harness"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden experiment outputs under testdata/golden/")
+
+// firstDiff locates the first line where two renderings diverge.
+func firstDiff(got, want string) string {
+	g, w := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if g[i] != w[i] {
+			return fmt.Sprintf("line %d:\n got: %s\nwant: %s", i+1, g[i], w[i])
+		}
+	}
+	return fmt.Sprintf("length (%d vs %d lines)", len(g), len(w))
+}
+
+// TestGolden is the regression suite: every experiment runs at smoke scale
+// under seed 1 twice — serially and on eight workers — and must produce
+// byte-identical output, which is then diffed against the checked-in
+// golden file. Regenerate after an intentional model change with
+//
+//	go test ./cmd/hetbench -run TestGolden -update
+//
+// table4 counts repository source lines, which move with any code edit, so
+// it is held to the jobs-equality contract but not byte-pinned.
+func TestGolden(t *testing.T) {
+	for _, id := range harness.IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			render := func(jobs string) string {
+				var stdout, stderr bytes.Buffer
+				args := []string{"-exp", id, "-scale", "smoke", "-seed", "1", "-jobs", jobs}
+				if code := run(args, &stdout, &stderr); code != 0 {
+					t.Fatalf("run(%v) = %d, stderr: %s", args, code, stderr.String())
+				}
+				return stdout.String()
+			}
+			serial := render("1")
+			if parallel := render("8"); parallel != serial {
+				t.Fatalf("-jobs 8 output differs from -jobs 1 at %s", firstDiff(parallel, serial))
+			}
+
+			if id == "table4" {
+				return // SLOC table churns with the codebase; jobs-equality above is its contract
+			}
+			golden := filepath.Join("testdata", "golden", id+".txt")
+			if *update {
+				if err := os.WriteFile(golden, []byte(serial), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if serial != string(want) {
+				t.Errorf("output diverged from %s at %s\nregenerate with -update if the change is intentional",
+					golden, firstDiff(serial, string(want)))
+			}
+		})
+	}
+}

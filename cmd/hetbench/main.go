@@ -9,10 +9,15 @@
 //	hetbench -exp fig9 -trace out.json     # capture a Chrome/Perfetto trace
 //	hetbench -exp faults -seed 7           # seeded fault-injection sweep
 //	hetbench -exp coexec -seed 1           # CPU+accelerator co-execution sweep
+//	hetbench -exp fig8 -jobs 8 -v          # parallel cells + runner stats
 //
 // Experiment ids: table1 table2 table3 table4 fig7 fig8 fig9 fig10 fig11
 // hc tiles dataregion gridtype scaling profile roofline energy trace
 // faults coexec, or "all". "-exp list" is an alias for -list.
+//
+// Experiments run their independent cells on a bounded worker pool
+// (-jobs, default GOMAXPROCS) and merge results in deterministic cell
+// order: the output is byte-identical at any -jobs under the same -seed.
 package main
 
 import (
@@ -22,7 +27,7 @@ import (
 	"os"
 
 	"hetbench/internal/harness"
-	"hetbench/internal/sim"
+	"hetbench/internal/harness/runner"
 	"hetbench/internal/trace"
 )
 
@@ -39,12 +44,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	scaleFlag := fs.String("scale", "default", "problem scale: smoke | small | default | paper")
 	traceOut := fs.String("trace", "", "write a Chrome trace_event JSON of the run to this file (open in Perfetto)")
 	seed := fs.Int64("seed", 1, "run-wide PRNG seed (fault injection); equal seeds give bit-identical runs")
+	jobsFlag := fs.Int("jobs", 0, "experiment cells run concurrently (0 = GOMAXPROCS); output is identical at any -jobs")
+	verbose := fs.Bool("v", false, "print runner statistics (cells, wall vs serial-estimate time) to stderr")
 	list := fs.Bool("list", false, "list experiments and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() > 0 {
 		fmt.Fprintf(stderr, "unexpected arguments %q; hetbench takes flags only\n", fs.Args())
+		return 2
+	}
+	if *jobsFlag < 0 {
+		fmt.Fprintf(stderr, "invalid -jobs %d: the worker count must not be negative\n", *jobsFlag)
 		return 2
 	}
 
@@ -75,14 +86,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	harness.SetSeed(*seed)
+	runner.SetJobs(*jobsFlag) // 0 restores the default (HETBENCH_JOBS or GOMAXPROCS)
+	runner.ResetStats()
 
-	// With -trace, every machine the experiment constructs attaches to one
-	// shared tracer; the combined span set is written on exit.
+	// With -trace, every cell records into a private tracer that folds
+	// into this capture in deterministic cell order; the combined span set
+	// is written on exit and is identical at any -jobs.
 	var tracer *trace.Tracer
 	if *traceOut != "" {
 		tracer = trace.New()
-		sim.SetDefaultTracer(tracer)
-		defer sim.SetDefaultTracer(nil)
+		runner.SetCapture(tracer)
+		defer runner.SetCapture(nil)
 	}
 
 	if *exp == "all" {
@@ -99,6 +113,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
+	}
+	if *verbose {
+		// Stats go to stderr so stdout stays byte-comparable across runs.
+		fmt.Fprintln(stderr, runner.TotalStats())
 	}
 
 	if tracer != nil {

@@ -18,6 +18,7 @@ func TestRunUsageErrors(t *testing.T) {
 		{"bad scale", []string{"-exp", "table2", "-scale", "huge"}, "smoke|small|default|paper"},
 		{"bad seed", []string{"-exp", "faults", "-scale", "smoke", "-seed", "0"}, "invalid -seed"},
 		{"negative seed", []string{"-exp", "faults", "-scale", "smoke", "-seed", "-3"}, "invalid -seed"},
+		{"negative jobs", []string{"-exp", "table2", "-scale", "smoke", "-jobs", "-2"}, "invalid -jobs"},
 		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
 		{"positional args", []string{"table2"}, "unexpected arguments"},
 		{"list with trace", []string{"-list", "-trace", "out.json"}, "cannot be combined"},

@@ -7,6 +7,7 @@ import (
 	"hetbench/internal/apps/appcore"
 	"hetbench/internal/apps/comd"
 	"hetbench/internal/apps/xsbench"
+	"hetbench/internal/harness/runner"
 	"hetbench/internal/models/modelapi"
 	"hetbench/internal/report"
 	"hetbench/internal/sim"
@@ -26,25 +27,31 @@ type HCCell struct {
 // OpenACC and approach (or beat) OpenCL, because uploads hide behind
 // kernels and no compiler-managed copies ever recur.
 func AblationHCData(scale Scale) []HCCell {
-	w := newWorkloads(scale, timing.Double)
-	var out []HCCell
-	add := func(app string, model modelapi.Name, run func(*sim.Machine) appcore.Result) {
-		m := sim.NewDGPU()
-		r := run(m)
-		out = append(out, HCCell{
-			App: app, Model: model,
-			ElapsedMs: r.ElapsedNs / 1e6, KernelMs: r.KernelNs / 1e6, TransferMs: r.TransferNs / 1e6,
-		})
+	// One runner cell per (app, model) row, each with its own workloads
+	// and machine; the row order matches the serial table.
+	combos := []struct {
+		app   string
+		model modelapi.Name
+		run   func(w *workloads, m *sim.Machine) appcore.Result
+	}{
+		{"XSBench", modelapi.OpenCL, func(w *workloads, m *sim.Machine) appcore.Result { return w.Xsbench().RunOpenCL(m) }},
+		{"XSBench", modelapi.CppAMP, func(w *workloads, m *sim.Machine) appcore.Result { return w.Xsbench().RunCppAMP(m) }},
+		{"XSBench", modelapi.OpenACC, func(w *workloads, m *sim.Machine) appcore.Result { return w.Xsbench().RunOpenACC(m) }},
+		{"XSBench", modelapi.HC, func(w *workloads, m *sim.Machine) appcore.Result { return w.Xsbench().RunHC(m) }},
+		{"LULESH", modelapi.OpenCL, func(w *workloads, m *sim.Machine) appcore.Result { return w.Lulesh().RunOpenCL(m) }},
+		{"LULESH", modelapi.CppAMP, func(w *workloads, m *sim.Machine) appcore.Result { return w.Lulesh().RunCppAMP(m) }},
+		{"LULESH", modelapi.OpenACC, func(w *workloads, m *sim.Machine) appcore.Result { return w.Lulesh().RunOpenACC(m) }},
+		{"LULESH", modelapi.HC, func(w *workloads, m *sim.Machine) appcore.Result { return w.Lulesh().RunHC(m) }},
 	}
-	add("XSBench", modelapi.OpenCL, w.Xsbench.RunOpenCL)
-	add("XSBench", modelapi.CppAMP, w.Xsbench.RunCppAMP)
-	add("XSBench", modelapi.OpenACC, w.Xsbench.RunOpenACC)
-	add("XSBench", modelapi.HC, w.Xsbench.RunHC)
-	add("LULESH", modelapi.OpenCL, w.Lulesh.RunOpenCL)
-	add("LULESH", modelapi.CppAMP, w.Lulesh.RunCppAMP)
-	add("LULESH", modelapi.OpenACC, w.Lulesh.RunOpenACC)
-	add("LULESH", modelapi.HC, w.Lulesh.RunHC)
-	return out
+	return runner.Map("hc", len(combos), func(cx *runner.Ctx, i int) HCCell {
+		c := combos[i]
+		w := newWorkloads(scale, timing.Double)
+		r := c.run(w, cx.Machine(sim.NewDGPU))
+		return HCCell{
+			App: c.app, Model: c.model,
+			ElapsedMs: r.ElapsedNs / 1e6, KernelMs: r.KernelNs / 1e6, TransferMs: r.TransferNs / 1e6,
+		}
+	})
 }
 
 // RunAblationHC renders the Section VII comparison.
@@ -66,10 +73,17 @@ func AblationTilesData(scale Scale) (flatMs, tiledMs float64) {
 	if scale == ScalePaper {
 		cfg.Nx, cfg.Ny, cfg.Nz = 24, 24, 24
 	}
-	p := comd.NewProblem(cfg, timing.Single)
-	flat := p.RunOpenCLFlat(sim.NewDGPU())
-	tiled := p.RunOpenCL(sim.NewDGPU())
-	return flat.KernelNs / 1e6, tiled.KernelNs / 1e6
+	// Two independent cells: the flat and tiled variants share nothing
+	// but the (immutable) problem configuration.
+	ms := runner.Map("tiles", 2, func(cx *runner.Ctx, i int) float64 {
+		p := comd.NewProblem(cfg, timing.Single)
+		m := cx.Machine(sim.NewDGPU)
+		if i == 0 {
+			return p.RunOpenCLFlat(m).KernelNs / 1e6
+		}
+		return p.RunOpenCL(m).KernelNs / 1e6
+	})
+	return ms[0], ms[1]
 }
 
 // RunAblationTiles renders the tiling ablation.
@@ -103,22 +117,20 @@ func AblationGridTypeData(scale Scale) []GridTypeCell {
 	if scale == ScalePaper {
 		base = xsbench.PaperSmall()
 	}
-	var out []GridTypeCell
-	for _, grid := range []xsbench.GridType{xsbench.UnionizedGrid, xsbench.NuclideGridOnly} {
+	grids := []xsbench.GridType{xsbench.UnionizedGrid, xsbench.NuclideGridOnly}
+	return runner.Map("gridtype", len(grids), func(cx *runner.Ctx, i int) GridTypeCell {
 		cfg := base
-		cfg.Grid = grid
+		cfg.Grid = grids[i]
 		p := xsbench.NewProblem(cfg, timing.Double)
-		m := sim.NewDGPU()
-		r := p.RunOpenCL(m)
-		out = append(out, GridTypeCell{
-			Grid:       grid.String(),
+		r := p.RunOpenCL(cx.Machine(sim.NewDGPU))
+		return GridTypeCell{
+			Grid:       grids[i].String(),
 			TableMB:    float64(cfg.TableBytes(timing.Double)) / (1 << 20),
 			ElapsedMs:  r.ElapsedNs / 1e6,
 			KernelMs:   r.KernelNs / 1e6,
 			TransferMs: r.TransferNs / 1e6,
-		})
-	}
-	return out
+		}
+	})
 }
 
 // RunAblationGridType renders the grid-structure ablation.
@@ -137,17 +149,20 @@ func RunAblationGridType(scale Scale, w io.Writer) error {
 // dGPU with and without the hand-placed data region (ms elapsed, MB
 // moved).
 func AblationDataRegionData(scale Scale) (withMs, withoutMs float64, withMB, withoutMB float64) {
-	w := newWorkloads(scale, timing.Double)
-	m1 := sim.NewDGPU()
-	r1 := w.Minife.RunOpenACC(m1)
-	st1 := m1.Link().Stats()
-	m2 := sim.NewDGPU()
-	r2 := w.Minife.RunOpenACCConservative(m2)
-	st2 := m2.Link().Stats()
-	toMB := func(b int64) float64 { return float64(b) / (1 << 20) }
-	return r1.ElapsedNs / 1e6, r2.ElapsedNs / 1e6,
-		toMB(st1.BytesToDevice + st1.BytesFromDevice),
-		toMB(st2.BytesToDevice + st2.BytesFromDevice)
+	type cell struct{ ms, mb float64 }
+	out := runner.Map("dataregion", 2, func(cx *runner.Ctx, i int) cell {
+		w := newWorkloads(scale, timing.Double)
+		m := cx.Machine(sim.NewDGPU)
+		var r appcore.Result
+		if i == 0 {
+			r = w.Minife().RunOpenACC(m).Result
+		} else {
+			r = w.Minife().RunOpenACCConservative(m).Result
+		}
+		st := m.Link().Stats()
+		return cell{ms: r.ElapsedNs / 1e6, mb: float64(st.BytesToDevice+st.BytesFromDevice) / (1 << 20)}
+	})
+	return out[0].ms, out[1].ms, out[0].mb, out[1].mb
 }
 
 // RunAblationDataRegion renders the data-directive ablation.

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"hetbench/internal/apps/appcore"
+	"hetbench/internal/harness/runner"
 	"hetbench/internal/models/modelapi"
 	"hetbench/internal/report"
 	"hetbench/internal/sim"
@@ -44,28 +45,35 @@ func RunApp(w io.Writer, appName string, machines []func() *sim.Machine,
 	run func(m *sim.Machine, model modelapi.Name) appcore.Result) error {
 
 	// The OpenMP baseline is machine-independent (it always runs on the
-	// APU's CPU cores), so compute it once, not once per machine.
+	// APU's CPU cores), so compute it once, not once per machine; each
+	// machine's model comparison is then an independent runner cell.
 	base := run(sim.NewAPU(), modelapi.OpenMP)
-	for _, mk := range machines {
-		machine := mk()
-		t := report.NewTable(
-			fmt.Sprintf("%s on %s (baseline: 4-core OpenMP, %.3f ms)", appName, machine.Name(), base.ElapsedNs/1e6),
-			"Model", "Elapsed ms", "Kernel ms", "Transfer ms", "Speedup", "Checksum")
-		t.AddRowf("OpenMP", fmt.Sprintf("%.3f", base.ElapsedNs/1e6),
-			fmt.Sprintf("%.3f", base.KernelNs/1e6), "0.000", "1.00", fmt.Sprintf("%g", base.Checksum))
-		for _, model := range modelapi.All() {
-			r := run(mk(), model)
-			t.AddRowf(string(model),
-				fmt.Sprintf("%.3f", r.ElapsedNs/1e6),
-				fmt.Sprintf("%.3f", r.KernelNs/1e6),
-				fmt.Sprintf("%.3f", r.TransferNs/1e6),
-				fmt.Sprintf("%.2f", r.SpeedupOver(base)),
-				fmt.Sprintf("%g", r.Checksum))
-		}
-		if _, err := t.WriteTo(w); err != nil {
-			return err
-		}
-		fmt.Fprintln(w)
+	cells := make([]runner.Cell, len(machines))
+	for i, mk := range machines {
+		mk := mk
+		cells[i] = runner.Cell{Label: "app/" + appName, Run: func(cx *runner.Ctx) error {
+			machine := cx.Machine(mk)
+			t := report.NewTable(
+				fmt.Sprintf("%s on %s (baseline: 4-core OpenMP, %.3f ms)", appName, machine.Name(), base.ElapsedNs/1e6),
+				"Model", "Elapsed ms", "Kernel ms", "Transfer ms", "Speedup", "Checksum")
+			t.AddRowf("OpenMP", fmt.Sprintf("%.3f", base.ElapsedNs/1e6),
+				fmt.Sprintf("%.3f", base.KernelNs/1e6), "0.000", "1.00", fmt.Sprintf("%g", base.Checksum))
+			for _, model := range modelapi.All() {
+				r := run(cx.Machine(mk), model)
+				t.AddRowf(string(model),
+					fmt.Sprintf("%.3f", r.ElapsedNs/1e6),
+					fmt.Sprintf("%.3f", r.KernelNs/1e6),
+					fmt.Sprintf("%.3f", r.TransferNs/1e6),
+					fmt.Sprintf("%.2f", r.SpeedupOver(base)),
+					fmt.Sprintf("%g", r.Checksum))
+			}
+			if _, err := t.WriteTo(cx.Out); err != nil {
+				return err
+			}
+			fmt.Fprintln(cx.Out)
+			return nil
+		}}
 	}
-	return nil
+	_, err := runner.Run(w, cells)
+	return err
 }

@@ -8,6 +8,7 @@ import (
 	"hetbench/internal/apps/lulesh"
 	"hetbench/internal/apps/minife"
 	"hetbench/internal/apps/readmem"
+	"hetbench/internal/harness/runner"
 	"hetbench/internal/models/modelapi"
 	"hetbench/internal/report"
 	"hetbench/internal/sched"
@@ -64,14 +65,13 @@ func (c CoexecCell) Speedup() float64 {
 // bit-reproducible under any run-wide seed; Seed() is still threaded into
 // each scheduler so future stochastic policies inherit the contract.
 func CoexecData(scale Scale) []CoexecCell {
-	w := newWorkloads(scale, timing.Double)
 	apps := []struct {
 		name string
-		run  func(m *sim.Machine) appcore.Result
+		run  func(w *workloads, m *sim.Machine) appcore.Result
 	}{
-		{readmem.AppName, func(m *sim.Machine) appcore.Result { return w.Readmem.Run(m, modelapi.OpenCL) }},
-		{lulesh.AppName, func(m *sim.Machine) appcore.Result { return w.Lulesh.Run(m, modelapi.OpenCL) }},
-		{minife.AppName, func(m *sim.Machine) appcore.Result { return w.Minife.Run(m, modelapi.OpenCL).Result }},
+		{readmem.AppName, func(w *workloads, m *sim.Machine) appcore.Result { return w.Readmem().Run(m, modelapi.OpenCL) }},
+		{lulesh.AppName, func(w *workloads, m *sim.Machine) appcore.Result { return w.Lulesh().Run(m, modelapi.OpenCL) }},
+		{minife.AppName, func(w *workloads, m *sim.Machine) appcore.Result { return w.Minife().Run(m, modelapi.OpenCL).Result }},
 	}
 	machines := []struct {
 		name string
@@ -80,29 +80,44 @@ func CoexecData(scale Scale) []CoexecCell {
 		{"APU", sim.NewAPU},
 		{"dGPU", sim.NewDGPU},
 	}
-	var cells []CoexecCell
-	for _, mach := range machines {
-		for _, app := range apps {
-			baseline := app.run(mach.mk())
-			for _, p := range coexecPartitioners() {
-				cell := CoexecCell{
-					Machine: mach.name, App: app.name, Partition: p.Label,
-					BaselineNs: baseline.ElapsedNs,
-				}
-				if p.Cfg == nil {
-					cell.Result = baseline
-				} else {
-					cfg := *p.Cfg
-					cfg.Seed = Seed()
-					s := sched.New(cfg)
-					m := mach.mk()
-					m.SetCoexec(s)
-					cell.Result = app.run(m)
-					cell.Stats = s.Stats()
-				}
-				cells = append(cells, cell)
-			}
+	// One runner cell per (machine, app), machine-major like the serial
+	// sweep: the gpu-only baseline is every partitioner's denominator, so
+	// the partitioner loop stays inside the cell that computed it.
+	type combo struct{ mach, app int }
+	var combos []combo
+	for mi := range machines {
+		for ai := range apps {
+			combos = append(combos, combo{mi, ai})
 		}
+	}
+	groups := runner.Map("coexec", len(combos), func(cx *runner.Ctx, i int) []CoexecCell {
+		mach, app := machines[combos[i].mach], apps[combos[i].app]
+		w := newWorkloads(scale, timing.Double)
+		baseline := app.run(w, cx.Machine(mach.mk))
+		var cells []CoexecCell
+		for _, p := range coexecPartitioners() {
+			cell := CoexecCell{
+				Machine: mach.name, App: app.name, Partition: p.Label,
+				BaselineNs: baseline.ElapsedNs,
+			}
+			if p.Cfg == nil {
+				cell.Result = baseline
+			} else {
+				cfg := *p.Cfg
+				cfg.Seed = Seed()
+				s := sched.New(cfg)
+				m := cx.Machine(mach.mk)
+				m.SetCoexec(s)
+				cell.Result = app.run(w, m)
+				cell.Stats = s.Stats()
+			}
+			cells = append(cells, cell)
+		}
+		return cells
+	})
+	var cells []CoexecCell
+	for _, g := range groups {
+		cells = append(cells, g...)
 	}
 	return cells
 }

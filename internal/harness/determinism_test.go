@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"hetbench/internal/harness/runner"
+	"hetbench/internal/trace"
+)
+
+// The -race companion to the golden suite: the two seeded sweeps that mix
+// fault injection and co-execution with per-cell machines run under a
+// trace capture at one worker and at eight. The rendered bytes, the folded
+// span and process counts, and the full counter registry must all match —
+// the merge is deterministic, not merely race-free.
+func TestParallelSweepsMatchSerialUnderCapture(t *testing.T) {
+	type snapshot struct {
+		out   string
+		spans int
+		procs []string
+		ctrs  map[string]float64
+	}
+	render := func(jobs int) snapshot {
+		old := runner.Jobs()
+		runner.SetJobs(jobs)
+		defer runner.SetJobs(old)
+		capture := trace.New()
+		runner.SetCapture(capture)
+		defer runner.SetCapture(nil)
+		var buf bytes.Buffer
+		if err := RunCoexec(ScaleSmoke, &buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := RunFaults(ScaleSmoke, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return snapshot{buf.String(), capture.Len(), capture.Processes(), capture.Metrics().Snapshot()}
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial.out != parallel.out {
+		t.Error("rendered output differs between one and eight workers")
+	}
+	if serial.spans == 0 || serial.spans != parallel.spans {
+		t.Errorf("folded span counts differ: %d serial vs %d parallel", serial.spans, parallel.spans)
+	}
+	if !reflect.DeepEqual(serial.procs, parallel.procs) {
+		t.Errorf("process lists differ:\nserial:   %v\nparallel: %v", serial.procs, parallel.procs)
+	}
+	if len(serial.ctrs) == 0 || !reflect.DeepEqual(serial.ctrs, parallel.ctrs) {
+		t.Errorf("counter registries differ:\nserial:   %v\nparallel: %v", serial.ctrs, parallel.ctrs)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"hetbench/internal/harness/runner"
 	"hetbench/internal/models/modelapi"
 	"hetbench/internal/report"
 	"hetbench/internal/sim"
@@ -28,49 +29,59 @@ type EnergyRow struct {
 // performance under power budgets — answering which device wins on
 // energy-to-solution, not just time.
 func EnergyData(scale Scale) []EnergyRow {
-	w := newWorkloads(scale, timing.Double)
-	var out []EnergyRow
-	for _, r := range w.runners() {
+	// One runner cell per (app, machine) measurement, app-major so the
+	// merged rows keep the serial sweep's order (the winner table pairs
+	// consecutive rows).
+	type combo struct {
+		app string
+		mk  func() *sim.Machine
+	}
+	var combos []combo
+	for _, app := range AppNames {
 		for _, mk := range []func() *sim.Machine{sim.NewAPU, sim.NewDGPU} {
-			m := mk()
-			m.EnableCostLog()
-			res := r.run(m, modelapi.OpenCL)
-
-			dev := m.Accelerator()
-			prof := power.ProfileFor(dev)
-			model := timing.NewModel(dev)
-
-			// Replay kernel costs for busy time and DRAM traffic.
-			var busyNs, dramBytes float64
-			for _, lc := range m.CostLog() {
-				if lc.Target != sim.OnAccelerator {
-					continue
-				}
-				kr := model.Kernel(lc.Cost)
-				busyNs += kr.TimeNs
-				dramBytes += kr.DRAMBytes
-			}
-			energy := prof.KernelEnergyJ(busyNs, dev.CoreClockMHz, dev.CoreClockMHz, dramBytes)
-			// Idle power while not computing (transfers, host phases).
-			idleNs := res.ElapsedNs - busyNs
-			if idleNs > 0 {
-				energy += prof.IdleW * idleNs / 1e9
-			}
-			if !m.Unified() {
-				st := m.Link().Stats()
-				energy += power.TransferEnergyJ(st.BytesToDevice + st.BytesFromDevice)
-			}
-			avgW := 0.0
-			if res.ElapsedNs > 0 {
-				avgW = energy / (res.ElapsedNs / 1e9)
-			}
-			out = append(out, EnergyRow{
-				App: r.name, Machine: m.Name(),
-				TimeMs: res.ElapsedNs / 1e6, EnergyJ: energy, AvgW: avgW,
-			})
+			combos = append(combos, combo{app, mk})
 		}
 	}
-	return out
+	return runner.Map("energy", len(combos), func(cx *runner.Ctx, i int) EnergyRow {
+		w := newWorkloads(scale, timing.Double)
+		r, _ := w.runnerByName(combos[i].app)
+		m := cx.Machine(combos[i].mk)
+		m.EnableCostLog()
+		res := r.run(m, modelapi.OpenCL)
+
+		dev := m.Accelerator()
+		prof := power.ProfileFor(dev)
+		model := timing.NewModel(dev)
+
+		// Replay kernel costs for busy time and DRAM traffic.
+		var busyNs, dramBytes float64
+		for _, lc := range m.CostLog() {
+			if lc.Target != sim.OnAccelerator {
+				continue
+			}
+			kr := model.Kernel(lc.Cost)
+			busyNs += kr.TimeNs
+			dramBytes += kr.DRAMBytes
+		}
+		energy := prof.KernelEnergyJ(busyNs, dev.CoreClockMHz, dev.CoreClockMHz, dramBytes)
+		// Idle power while not computing (transfers, host phases).
+		idleNs := res.ElapsedNs - busyNs
+		if idleNs > 0 {
+			energy += prof.IdleW * idleNs / 1e9
+		}
+		if !m.Unified() {
+			st := m.Link().Stats()
+			energy += power.TransferEnergyJ(st.BytesToDevice + st.BytesFromDevice)
+		}
+		avgW := 0.0
+		if res.ElapsedNs > 0 {
+			avgW = energy / (res.ElapsedNs / 1e9)
+		}
+		return EnergyRow{
+			App: r.name, Machine: m.Name(),
+			TimeMs: res.ElapsedNs / 1e6, EnergyJ: energy, AvgW: avgW,
+		}
+	})
 }
 
 // RunEnergy renders the energy comparison.

@@ -9,6 +9,7 @@ import (
 	"hetbench/internal/apps/lulesh"
 	"hetbench/internal/apps/minife"
 	"hetbench/internal/apps/xsbench"
+	"hetbench/internal/harness/runner"
 	"hetbench/internal/models/modelapi"
 	"hetbench/internal/report"
 	"hetbench/internal/sim"
@@ -17,8 +18,8 @@ import (
 	"hetbench/internal/sloc"
 )
 
-// runner adapts one app to a uniform (machine, model) → result call.
-type runner struct {
+// appRunner adapts one app to a uniform (machine, model) → result call.
+type appRunner struct {
 	name string
 	run  func(m *sim.Machine, model modelapi.Name) appcore.Result
 	// kernelOnly marks apps the paper compares by kernel time (the
@@ -29,48 +30,58 @@ type runner struct {
 	kernels  int
 }
 
-func (w *workloads) runners() []runner {
-	return []runner{
+func (w *workloads) runners() []appRunner {
+	return []appRunner{
 		{
 			name:       "read-benchmark",
-			run:        func(m *sim.Machine, md modelapi.Name) appcore.Result { return w.Readmem.Run(m, md) },
+			run:        func(m *sim.Machine, md modelapi.Name) appcore.Result { return w.Readmem().Run(m, md) },
 			kernelOnly: true,
 			missRate: func(m *sim.Machine) float64 {
 				// Streaming: per-access miss is elt/line by construction.
-				return appcore.EltBytes(w.Readmem.Cfg.Precision) / float64(m.Accelerator().CacheLineBytes)
+				return appcore.EltBytes(w.Readmem().Cfg.Precision) / float64(m.Accelerator().CacheLineBytes)
 			},
 			kernels: 1,
 		},
 		{
 			name:     "LULESH",
-			run:      func(m *sim.Machine, md modelapi.Name) appcore.Result { return w.Lulesh.Run(m, md) },
-			missRate: func(m *sim.Machine) float64 { return w.Lulesh.MeasuredTraits(m) },
+			run:      func(m *sim.Machine, md modelapi.Name) appcore.Result { return w.Lulesh().Run(m, md) },
+			missRate: func(m *sim.Machine) float64 { return w.Lulesh().MeasuredTraits(m) },
 			kernels:  28,
 		},
 		{
 			name:     "CoMD",
-			run:      func(m *sim.Machine, md modelapi.Name) appcore.Result { return w.Comd.Run(m, md) },
+			run:      func(m *sim.Machine, md modelapi.Name) appcore.Result { return w.Comd().Run(m, md) },
 			missRate: func(m *sim.Machine) float64 { return comdMiss(w, m) },
 			kernels:  3,
 		},
 		{
 			name:     "XSBench",
-			run:      func(m *sim.Machine, md modelapi.Name) appcore.Result { return w.Xsbench.Run(m, md) },
-			missRate: func(m *sim.Machine) float64 { return w.Xsbench.MeasuredMissRate(m) },
+			run:      func(m *sim.Machine, md modelapi.Name) appcore.Result { return w.Xsbench().Run(m, md) },
+			missRate: func(m *sim.Machine) float64 { return w.Xsbench().MeasuredMissRate(m) },
 			kernels:  1,
 		},
 		{
 			name:     "miniFE",
-			run:      func(m *sim.Machine, md modelapi.Name) appcore.Result { return w.Minife.Run(m, md).Result },
-			missRate: func(m *sim.Machine) float64 { return w.Minife.MeasuredMissRate(m) },
+			run:      func(m *sim.Machine, md modelapi.Name) appcore.Result { return w.Minife().Run(m, md).Result },
+			missRate: func(m *sim.Machine) float64 { return w.Minife().MeasuredMissRate(m) },
 			kernels:  3,
 		},
 	}
 }
 
+// runnerByName finds one app adapter; ok is false for unknown names.
+func (w *workloads) runnerByName(name string) (appRunner, bool) {
+	for _, r := range w.runners() {
+		if r.name == name {
+			return r, true
+		}
+	}
+	return appRunner{}, false
+}
+
 func comdMiss(w *workloads, m *sim.Machine) float64 {
-	s := comd.NewState(w.Comd.Cfg)
-	return s.MeasuredMissRate(m, w.Comd.Precision)
+	s := comd.NewState(w.Comd().Cfg)
+	return s.MeasuredMissRate(m, w.Comd().Precision)
 }
 
 // ---------------------------------------------------------------------
@@ -91,24 +102,23 @@ type Table1Row struct {
 // exceed the 768 KB L2 regardless of the timing-run scale, because a
 // cache-resident toy instance would report vacuous 0% rates.
 func Table1Data(scale Scale) []Table1Row {
-	w := newWorkloads(scale, timing.Double)
 	char := characterizationMissRates()
-	var rows []Table1Row
-	for _, r := range w.runners() {
-		if r.name == "read-benchmark" {
-			continue // Table I lists only the four proxy applications
-		}
-		m := sim.NewDGPU()
+	// Table I lists only the four proxy applications (not read-benchmark);
+	// one runner cell per app, each with its own workloads and machine.
+	apps := []string{"LULESH", "CoMD", "XSBench", "miniFE"}
+	return runner.Map("table1", len(apps), func(cx *runner.Ctx, i int) Table1Row {
+		w := newWorkloads(scale, timing.Double)
+		r, _ := w.runnerByName(apps[i])
+		m := cx.Machine(sim.NewDGPU)
 		res := r.run(m, modelapi.OpenCL)
-		rows = append(rows, Table1Row{
+		return Table1Row{
 			App:         r.name,
 			MissRate:    char[r.name],
 			IPC:         m.IPC(),
 			Kernels:     res.Kernels,
 			Boundedness: m.Boundedness(),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // characterizationMissRates measures per-access LLC miss rates on

@@ -6,6 +6,7 @@ import (
 
 	"hetbench/internal/apps/appcore"
 	"hetbench/internal/fault"
+	"hetbench/internal/harness/runner"
 	"hetbench/internal/models/modelapi"
 	"hetbench/internal/report"
 	"hetbench/internal/sim"
@@ -79,11 +80,18 @@ func cellSeed(mi, ri int) int64 {
 // retry/backoff, hangs by the watchdog, persistent device loss by host
 // fallback, and silent corruption by golden-checksum redo.
 func FaultsData(scale Scale) []FaultCell {
-	w := newWorkloads(scale, timing.Double)
 	pol := fault.DefaultPolicy()
-	cells := make([]FaultCell, 0, len(modelapi.All())*len(FaultRates))
-	for mi, model := range modelapi.All() {
-		clean := w.Lulesh.Run(sim.NewDGPU(), model)
+	models := modelapi.All()
+	// One runner cell per model: the model's fault-free run is the golden
+	// reference every rate in the sweep shares, so the rate loop stays
+	// inside the cell rather than recomputing the clean run per rate.
+	// Each fault cell still derives its own injector seed from (mi, ri),
+	// so the streams are identical to the serial sweep's.
+	groups := runner.Map("faults", len(models), func(cx *runner.Ctx, mi int) []FaultCell {
+		model := models[mi]
+		w := newWorkloads(scale, timing.Double)
+		clean := w.Lulesh().Run(cx.Machine(sim.NewDGPU), model)
+		cells := make([]FaultCell, 0, len(FaultRates))
 		for ri, rate := range FaultRates {
 			cell := FaultCell{
 				Model: model, Rate: rate, Seed: cellSeed(mi, ri),
@@ -94,19 +102,24 @@ func FaultsData(scale Scale) []FaultCell {
 				cells = append(cells, cell)
 				continue
 			}
-			m := sim.NewDGPU()
+			m := cx.Machine(sim.NewDGPU)
 			inj := fault.New(faultConfig(rate, cell.Seed))
 			m.SetFaultInjector(inj, pol)
 			cell.Result, cell.TotalNs, cell.Redos, cell.Correct = runResilient(
 				m, pol, clean.Checksum,
-				func() appcore.Result { return w.Lulesh.Run(m, model) },
+				func() appcore.Result { return w.Lulesh().Run(m, model) },
 			)
 			cell.Stats = m.Resilience()
 			cell.Injected = inj.Total()
 			cells = append(cells, cell)
 		}
+		return cells
+	})
+	out := make([]FaultCell, 0, len(models)*len(FaultRates))
+	for _, g := range groups {
+		out = append(out, g...)
 	}
-	return cells
+	return out
 }
 
 // runResilient executes one app run under fault injection until its

@@ -74,7 +74,7 @@ func TestFaultsReproducibleUnderSeed(t *testing.T) {
 // guaranteed.
 func TestRunResilientRedoesSilentCorruption(t *testing.T) {
 	w := newWorkloads(ScaleSmoke, timing.Double)
-	golden := w.Readmem.RunOpenCL(sim.NewDGPU()).Checksum
+	golden := w.Readmem().RunOpenCL(sim.NewDGPU()).Checksum
 	pol := fault.DefaultPolicy()
 
 	sawRedo := false
@@ -82,7 +82,7 @@ func TestRunResilientRedoesSilentCorruption(t *testing.T) {
 		m := sim.NewDGPU()
 		m.SetFaultInjector(fault.New(fault.Config{Seed: s, BitFlipRate: 0.75}), pol)
 		res, total, redos, correct := runResilient(m, pol, golden,
-			func() appcore.Result { return w.Readmem.RunOpenCL(m) })
+			func() appcore.Result { return w.Readmem().RunOpenCL(m) })
 		if !correct || res.Checksum != golden {
 			t.Fatalf("seed %d: runResilient returned wrong checksum %g, want %g", s, res.Checksum, golden)
 		}
@@ -98,10 +98,33 @@ func TestRunResilientRedoesSilentCorruption(t *testing.T) {
 	}
 }
 
-// The smoke scale builds complete (toy-sized) workloads.
+// The smoke scale builds complete (toy-sized) workloads on demand.
 func TestSmokeWorkloads(t *testing.T) {
 	w := newWorkloads(ScaleSmoke, timing.Double)
-	if w.Readmem == nil || w.Lulesh == nil || w.Comd == nil || w.Xsbench == nil || w.Minife == nil {
+	if w.Readmem() == nil || w.Lulesh() == nil || w.Comd() == nil || w.Xsbench() == nil || w.Minife() == nil {
 		t.Fatal("smoke workloads incomplete")
+	}
+}
+
+// Lazy workloads build each app exactly once and honor the per-app config
+// overrides the Figure 7 sweep installs.
+func TestWorkloadsLazyAndOverridable(t *testing.T) {
+	w := newWorkloads(ScaleSmoke, timing.Double)
+	if w.lulesh != nil || w.comd != nil {
+		t.Fatal("workloads built apps eagerly")
+	}
+	if p := w.Lulesh(); p != w.Lulesh() {
+		t.Error("Lulesh() rebuilt the problem on second call")
+	}
+	if w.comd != nil {
+		t.Error("Lulesh() built CoMD as a side effect")
+	}
+
+	f7 := fig7Workloads(ScaleSmoke)
+	if got := f7.Lulesh().Cfg.Iters; got != 2 {
+		t.Errorf("fig7 LULESH override not applied: Iters = %d, want 2", got)
+	}
+	if got := f7.Minife().Cfg.MaxIters; got != 5 {
+		t.Errorf("fig7 miniFE override not applied: MaxIters = %d, want 5", got)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"hetbench/internal/apps/comd"
+	"hetbench/internal/harness/runner"
 	"hetbench/internal/models/modelapi"
 	"hetbench/internal/report"
 	"hetbench/internal/sim"
@@ -23,9 +24,14 @@ var (
 // not flatten the curves.
 func fig7Workloads(scale Scale) *workloads {
 	w := newWorkloads(scale, timing.Single)
-	w.Lulesh.Cfg.Iters, w.Lulesh.Cfg.FunctionalIters = 2, 1
-	w.Comd.Cfg = comdFig7Cfg(scale)
-	w.Minife.Cfg.MaxIters, w.Minife.Cfg.FunctionalIters = 5, 1
+	lcfg := luleshConfig(scale)
+	lcfg.Iters, lcfg.FunctionalIters = 2, 1
+	w.luleshCfg = &lcfg
+	ccfg := comdFig7Cfg(scale)
+	w.comdCfg = &ccfg
+	mcfg := minifeConfig(scale)
+	mcfg.MaxIters, mcfg.FunctionalIters = 5, 1
+	w.minifeCfg = &mcfg
 	return w
 }
 
@@ -44,20 +50,20 @@ func comdFig7Cfg(scale Scale) comd.Config {
 // once to record its launch-cost log, which is then replayed against each
 // clock pair — kernel costs do not depend on clocks, only their times do.
 func Fig7Data(scale Scale, app string) ([]*report.Series, error) {
+	return fig7Data(nil, scale, app)
+}
+
+// fig7Data is Fig7Data inside one runner cell (nil cx = direct call).
+// The clock-point replays are cheap relative to the recording run, so
+// they stay inside the app's cell rather than fanning out further.
+func fig7Data(cx *runner.Ctx, scale Scale, app string) ([]*report.Series, error) {
 	w := fig7Workloads(scale)
-	var target *runner
-	for _, r := range w.runners() {
-		if r.name == app {
-			rr := r
-			target = &rr
-			break
-		}
-	}
-	if target == nil {
+	target, ok := w.runnerByName(app)
+	if !ok {
 		return nil, fmt.Errorf("harness: fig7: unknown app %q", app)
 	}
 
-	rec := sim.NewDGPU()
+	rec := cx.Machine(sim.NewDGPU)
 	rec.EnableCostLog()
 	target.run(rec, modelapi.OpenCL)
 	log := rec.CostLog()
@@ -85,25 +91,31 @@ func Fig7Data(scale Scale, app string) ([]*report.Series, error) {
 	return out, nil
 }
 
-// RunFig7 renders all five sub-figures.
+// RunFig7 renders all five sub-figures, one runner cell per app.
 func RunFig7(scale Scale, w io.Writer) error {
-	for _, app := range AppNames {
-		series, err := Fig7Data(scale, app)
-		if err != nil {
-			return err
-		}
-		fig := &report.Figure{
-			Title:  fmt.Sprintf("Figure 7 (%s): normalized performance, series = memory frequency", app),
-			XLabel: "core MHz",
-			YLabel: "perf / perf(200 MHz core, 480 MHz mem)",
-			Series: series,
-		}
-		if _, err := fig.WriteTo(w); err != nil {
-			return err
-		}
-		fmt.Fprintln(w)
+	cells := make([]runner.Cell, len(AppNames))
+	for i, app := range AppNames {
+		app := app
+		cells[i] = runner.Cell{Label: "fig7/" + app, Run: func(cx *runner.Ctx) error {
+			series, err := fig7Data(cx, scale, app)
+			if err != nil {
+				return err
+			}
+			fig := &report.Figure{
+				Title:  fmt.Sprintf("Figure 7 (%s): normalized performance, series = memory frequency", app),
+				XLabel: "core MHz",
+				YLabel: "perf / perf(200 MHz core, 480 MHz mem)",
+				Series: series,
+			}
+			if _, err := fig.WriteTo(cx.Out); err != nil {
+				return err
+			}
+			fmt.Fprintln(cx.Out)
+			return nil
+		}}
 	}
-	return nil
+	_, err := runner.Run(w, cells)
+	return err
 }
 
 // ---------------------------------------------------------------------
@@ -123,31 +135,50 @@ type SpeedupCell struct {
 // baseline on the given machine constructor (Figure 8: sim.NewAPU,
 // Figure 9: sim.NewDGPU).
 func SpeedupData(scale Scale, newMachine func() *sim.Machine) []SpeedupCell {
-	var out []SpeedupCell
+	// One runner cell per (precision, app): the cell runs the OpenMP
+	// baseline plus all three models, so the baseline is computed once per
+	// app without sharing state across cells. Cell order (precision-major,
+	// paper app order) reproduces the serial sweep's row order.
+	type combo struct {
+		prec timing.Precision
+		app  string
+	}
+	var combos []combo
 	for _, prec := range []timing.Precision{timing.Single, timing.Double} {
-		w := newWorkloads(scale, prec)
-		for _, r := range w.runners() {
-			base := r.run(sim.NewAPU(), modelapi.OpenMP)
-			baseT := base.ElapsedNs
-			if r.kernelOnly {
-				baseT = base.KernelNs
-			}
-			for _, model := range modelapi.All() {
-				res := r.run(newMachine(), model)
-				t := res.ElapsedNs
-				if r.kernelOnly {
-					t = res.KernelNs
-				}
-				sp := 0.0
-				if t > 0 {
-					sp = baseT / t
-				}
-				out = append(out, SpeedupCell{
-					App: r.name, Model: model, Precision: prec, Speedup: sp,
-					KernelMs: res.KernelNs / 1e6, TransferMs: res.TransferNs / 1e6,
-				})
-			}
+		for _, app := range AppNames {
+			combos = append(combos, combo{prec, app})
 		}
+	}
+	groups := runner.Map("speedup", len(combos), func(cx *runner.Ctx, i int) []SpeedupCell {
+		c := combos[i]
+		w := newWorkloads(scale, c.prec)
+		r, _ := w.runnerByName(c.app)
+		base := r.run(cx.Machine(sim.NewAPU), modelapi.OpenMP)
+		baseT := base.ElapsedNs
+		if r.kernelOnly {
+			baseT = base.KernelNs
+		}
+		var out []SpeedupCell
+		for _, model := range modelapi.All() {
+			res := r.run(cx.Machine(newMachine), model)
+			t := res.ElapsedNs
+			if r.kernelOnly {
+				t = res.KernelNs
+			}
+			sp := 0.0
+			if t > 0 {
+				sp = baseT / t
+			}
+			out = append(out, SpeedupCell{
+				App: r.name, Model: model, Precision: c.prec, Speedup: sp,
+				KernelMs: res.KernelNs / 1e6, TransferMs: res.TransferNs / 1e6,
+			})
+		}
+		return out
+	})
+	var out []SpeedupCell
+	for _, g := range groups {
+		out = append(out, g...)
 	}
 	return out
 }
@@ -206,14 +237,14 @@ type ProductivityRow struct {
 // ProductivityData computes Figure 10 for one machine: Eq. 1 with
 // double-precision runtimes and the paper's Table IV line counts.
 func ProductivityData(scale Scale, newMachine func() *sim.Machine) []ProductivityRow {
-	w := newWorkloads(scale, timing.Double)
 	lines := map[string]sloc.Table4Row{}
 	for _, r := range sloc.Table4() {
 		lines[r.App] = r
 	}
-	var out []ProductivityRow
-	for _, r := range w.runners() {
-		base := r.run(sim.NewAPU(), modelapi.OpenMP)
+	return runner.Map("productivity", len(AppNames), func(cx *runner.Ctx, i int) ProductivityRow {
+		w := newWorkloads(scale, timing.Double)
+		r, _ := w.runnerByName(AppNames[i])
+		base := r.run(cx.Machine(sim.NewAPU), modelapi.OpenMP)
 		baseT := base.ElapsedNs
 		if r.kernelOnly {
 			baseT = base.KernelNs
@@ -221,7 +252,7 @@ func ProductivityData(scale Scale, newMachine func() *sim.Machine) []Productivit
 		l := lines[r.name]
 		row := ProductivityRow{App: r.name}
 		for _, model := range modelapi.All() {
-			res := r.run(newMachine(), model)
+			res := r.run(cx.Machine(newMachine), model)
 			t := res.ElapsedNs
 			if r.kernelOnly {
 				t = res.KernelNs
@@ -245,9 +276,8 @@ func ProductivityData(scale Scale, newMachine func() *sim.Machine) []Productivit
 				row.OpenACC = p
 			}
 		}
-		out = append(out, row)
-	}
-	return out
+		return row
+	})
 }
 
 // HarmonicMeans returns the per-model harmonic means of a productivity

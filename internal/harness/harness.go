@@ -67,55 +67,155 @@ var AppNames = []string{
 	readmem.AppName, lulesh.AppName, comd.AppName, xsbench.AppName, minife.AppName,
 }
 
-// workloads builds the five apps at a scale and precision.
+// Per-app scale configurations. Scales:
+//   - Smoke is deliberately toy-sized: it exists so CI can run an
+//     experiment quickly and byte-diff the output in seconds, not to
+//     reproduce any paper phenomenon.
+//   - Small still has to be big enough that device kernels dominate the
+//     fixed launch (8 µs) and PCIe setup costs — the paper's phenomena
+//     vanish on toy sizes. Iteration counts amortize the one-time staging
+//     the way the paper's -i 100 runs do.
+//   - Paper matches the Table I command lines: LULESH -s 100 -i 100;
+//     CoMD -x 60 -y 60 -z 60; XSBench -s small; miniFE -nx/-ny/-nz 100.
+func readmemConfig(scale Scale, prec timing.Precision) readmem.Config {
+	blocks := map[Scale]int{ScaleSmoke: 1 << 12, ScaleSmall: 1 << 15, ScaleDefault: 1 << 17, ScalePaper: 1 << 21}
+	return readmem.Config{Blocks: blocks[scale], Precision: prec}
+}
+
+func luleshConfig(scale Scale) lulesh.Config {
+	switch scale {
+	case ScaleSmoke:
+		return lulesh.Config{S: 16, Iters: 8, FunctionalIters: 1}
+	case ScaleSmall:
+		return lulesh.Config{S: 32, Iters: 30, FunctionalIters: 1}
+	case ScalePaper:
+		return lulesh.Config{S: 100, Iters: 100, FunctionalIters: 2}
+	default:
+		return lulesh.Config{S: 48, Iters: 50, FunctionalIters: 2}
+	}
+}
+
+func comdConfig(scale Scale) comd.Config {
+	switch scale {
+	case ScaleSmoke:
+		return comd.Config{Nx: 6, Ny: 6, Nz: 6, Iters: 6, FunctionalIters: 1}
+	case ScaleSmall:
+		return comd.Config{Nx: 8, Ny: 8, Nz: 8, Iters: 12, FunctionalIters: 1}
+	case ScalePaper:
+		return comd.Config{Nx: 60, Ny: 60, Nz: 60, Iters: 100, FunctionalIters: 1}
+	default:
+		return comd.Config{Nx: 12, Ny: 12, Nz: 12, Iters: 20, FunctionalIters: 2}
+	}
+}
+
+func xsbenchConfig(scale Scale) xsbench.Config {
+	switch scale {
+	case ScaleSmoke:
+		return xsbench.Config{Nuclides: 16, GridPoints: 512, Lookups: 20_000}
+	case ScaleSmall:
+		return xsbench.Config{Nuclides: 32, GridPoints: 2048, Lookups: 100_000}
+	case ScalePaper:
+		return xsbench.PaperSmall()
+	default:
+		return xsbench.Config{Nuclides: 48, GridPoints: 4096, Lookups: 500_000}
+	}
+}
+
+func minifeConfig(scale Scale) minife.Config {
+	switch scale {
+	case ScaleSmoke:
+		return minife.Config{Nx: 24, Ny: 24, Nz: 24, MaxIters: 10, Tol: 0, FunctionalIters: 1}
+	case ScaleSmall:
+		return minife.Config{Nx: 48, Ny: 48, Nz: 48, MaxIters: 30, Tol: 0, FunctionalIters: 2}
+	case ScalePaper:
+		return minife.Config{Nx: 100, Ny: 100, Nz: 100, MaxIters: 200, Tol: 0, FunctionalIters: 2}
+	default:
+		return minife.Config{Nx: 64, Ny: 64, Nz: 64, MaxIters: 60, Tol: 0, FunctionalIters: 2}
+	}
+}
+
+// workloads builds the five apps at a scale and precision, constructing
+// each app's Problem lazily on first use — an experiment cell that runs
+// one app pays construction (and, at paper scale, memory) for one app
+// only. A workloads value belongs to a single goroutine (one experiment
+// cell); it is not safe for concurrent use, and the parallel runner gives
+// every cell its own instead of sharing one.
 type workloads struct {
-	Readmem *readmem.Problem
-	Lulesh  *lulesh.Problem
-	Comd    *comd.Problem
-	Xsbench *xsbench.Problem
-	Minife  *minife.Problem
+	scale Scale
+	prec  timing.Precision
+
+	// Optional per-app config overrides applied at first build (the
+	// Figure 7 sweep trims iteration counts); nil means the scale default.
+	luleshCfg *lulesh.Config
+	comdCfg   *comd.Config
+	minifeCfg *minife.Config
+
+	readmem *readmem.Problem
+	lulesh  *lulesh.Problem
+	comd    *comd.Problem
+	xsbench *xsbench.Problem
+	minife  *minife.Problem
 }
 
 func newWorkloads(scale Scale, prec timing.Precision) *workloads {
-	w := &workloads{}
 	switch scale {
-	case ScaleSmoke:
-		// Deliberately toy-sized: the smoke scale exists so CI can run an
-		// experiment twice and byte-diff the output in seconds, not to
-		// reproduce any paper phenomenon.
-		w.Readmem = readmem.NewProblem(readmem.Config{Blocks: 1 << 12, Precision: prec})
-		w.Lulesh = lulesh.NewProblem(lulesh.Config{S: 16, Iters: 8, FunctionalIters: 1}, prec)
-		w.Comd = comd.NewProblem(comd.Config{Nx: 6, Ny: 6, Nz: 6, Iters: 6, FunctionalIters: 1}, prec)
-		w.Xsbench = xsbench.NewProblem(xsbench.Config{Nuclides: 16, GridPoints: 512, Lookups: 20_000}, prec)
-		w.Minife = minife.NewProblem(minife.Config{Nx: 24, Ny: 24, Nz: 24, MaxIters: 10, Tol: 0, FunctionalIters: 1}, prec)
-	case ScaleSmall:
-		// Small still has to be big enough that device kernels dominate
-		// the fixed launch (8 µs) and PCIe setup costs — the paper's
-		// phenomena vanish on toy sizes. Iteration counts amortize the
-		// one-time staging the way the paper's -i 100 runs do.
-		w.Readmem = readmem.NewProblem(readmem.Config{Blocks: 1 << 15, Precision: prec})
-		w.Lulesh = lulesh.NewProblem(lulesh.Config{S: 32, Iters: 30, FunctionalIters: 1}, prec)
-		w.Comd = comd.NewProblem(comd.Config{Nx: 8, Ny: 8, Nz: 8, Iters: 12, FunctionalIters: 1}, prec)
-		w.Xsbench = xsbench.NewProblem(xsbench.Config{Nuclides: 32, GridPoints: 2048, Lookups: 100_000}, prec)
-		w.Minife = minife.NewProblem(minife.Config{Nx: 48, Ny: 48, Nz: 48, MaxIters: 30, Tol: 0, FunctionalIters: 2}, prec)
-	case ScaleDefault:
-		w.Readmem = readmem.NewProblem(readmem.Config{Blocks: 1 << 17, Precision: prec})
-		w.Lulesh = lulesh.NewProblem(lulesh.Config{S: 48, Iters: 50, FunctionalIters: 2}, prec)
-		w.Comd = comd.NewProblem(comd.Config{Nx: 12, Ny: 12, Nz: 12, Iters: 20, FunctionalIters: 2}, prec)
-		w.Xsbench = xsbench.NewProblem(xsbench.Config{Nuclides: 48, GridPoints: 4096, Lookups: 500_000}, prec)
-		w.Minife = minife.NewProblem(minife.Config{Nx: 64, Ny: 64, Nz: 64, MaxIters: 60, Tol: 0, FunctionalIters: 2}, prec)
-	case ScalePaper:
-		// Table I command lines: LULESH -s 100 -i 100; CoMD -x 60 -y 60
-		// -z 60; XSBench -s small; miniFE -nx 100 -ny 100 -nz 100.
-		w.Readmem = readmem.NewProblem(readmem.Config{Blocks: 1 << 21, Precision: prec})
-		w.Lulesh = lulesh.NewProblem(lulesh.Config{S: 100, Iters: 100, FunctionalIters: 2}, prec)
-		w.Comd = comd.NewProblem(comd.Config{Nx: 60, Ny: 60, Nz: 60, Iters: 100, FunctionalIters: 1}, prec)
-		w.Xsbench = xsbench.NewProblem(xsbench.PaperSmall(), prec)
-		w.Minife = minife.NewProblem(minife.Config{Nx: 100, Ny: 100, Nz: 100, MaxIters: 200, Tol: 0, FunctionalIters: 2}, prec)
+	case ScaleSmoke, ScaleSmall, ScaleDefault, ScalePaper:
 	default:
 		panic(fmt.Sprintf("harness: unknown scale %d", scale))
 	}
-	return w
+	return &workloads{scale: scale, prec: prec}
+}
+
+// Readmem returns the read-benchmark instance, building it on first use.
+func (w *workloads) Readmem() *readmem.Problem {
+	if w.readmem == nil {
+		w.readmem = readmem.NewProblem(readmemConfig(w.scale, w.prec))
+	}
+	return w.readmem
+}
+
+// Lulesh returns the LULESH instance, building it on first use.
+func (w *workloads) Lulesh() *lulesh.Problem {
+	if w.lulesh == nil {
+		cfg := luleshConfig(w.scale)
+		if w.luleshCfg != nil {
+			cfg = *w.luleshCfg
+		}
+		w.lulesh = lulesh.NewProblem(cfg, w.prec)
+	}
+	return w.lulesh
+}
+
+// Comd returns the CoMD instance, building it on first use.
+func (w *workloads) Comd() *comd.Problem {
+	if w.comd == nil {
+		cfg := comdConfig(w.scale)
+		if w.comdCfg != nil {
+			cfg = *w.comdCfg
+		}
+		w.comd = comd.NewProblem(cfg, w.prec)
+	}
+	return w.comd
+}
+
+// Xsbench returns the XSBench instance, building it on first use.
+func (w *workloads) Xsbench() *xsbench.Problem {
+	if w.xsbench == nil {
+		w.xsbench = xsbench.NewProblem(xsbenchConfig(w.scale), w.prec)
+	}
+	return w.xsbench
+}
+
+// Minife returns the miniFE instance, building it on first use.
+func (w *workloads) Minife() *minife.Problem {
+	if w.minife == nil {
+		cfg := minifeConfig(w.scale)
+		if w.minifeCfg != nil {
+			cfg = *w.minifeCfg
+		}
+		w.minife = minife.NewProblem(cfg, w.prec)
+	}
+	return w.minife
 }
 
 // Experiment is one regenerable paper artifact.

@@ -310,7 +310,7 @@ func TestRunAppRenders(t *testing.T) {
 	var buf bytes.Buffer
 	machines, _ := Machines("both")
 	err := RunApp(&buf, "read-benchmark", machines, func(m *sim.Machine, md modelapi.Name) appcore.Result {
-		return w.Readmem.Run(m, md)
+		return w.Readmem().Run(m, md)
 	})
 	if err != nil {
 		t.Fatal(err)

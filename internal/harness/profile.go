@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"hetbench/internal/harness/runner"
 	"hetbench/internal/models/modelapi"
 	"hetbench/internal/report"
 	"hetbench/internal/sim"
@@ -54,9 +55,13 @@ func profileRows(aggs []trace.Agg) []KernelProfileRow {
 // the per-iteration round trips it induces.
 func ProfileData(scale Scale, model modelapi.Name) Profile {
 	w := newWorkloads(scale, timing.Double)
+	// The profile aggregates a dedicated tracer rather than the cell's
+	// capture tracer: its spans are measurement scaffolding, not run
+	// output (the machine carries one tracer, and the dedicated one wins
+	// exactly as in the serial harness).
 	m := sim.NewDGPU()
 	m.SetTracer(trace.New())
-	w.Lulesh.Run(m, model)
+	w.Lulesh().Run(m, model)
 
 	spans := m.Tracer().Spans()
 	kernels := trace.Aggregate(spans, trace.KindKernel)
@@ -82,25 +87,32 @@ func profileTable(w io.Writer, title string, rows []KernelProfileRow, limit int)
 }
 
 // RunProfile renders the per-kernel and per-transfer profiles for all
-// three GPU models.
+// three GPU models, one runner cell per model.
 func RunProfile(scale Scale, w io.Writer) error {
-	for _, model := range modelapi.All() {
-		p := ProfileData(scale, model)
-		if err := profileTable(w,
-			fmt.Sprintf("LULESH on the R9 280X under %s — top kernels (kernel total %.2f ms)", model, p.KernelNs/1e6),
-			p.Kernels, 10); err != nil {
-			return err
-		}
-		if len(p.Transfers) > 0 {
-			if err := profileTable(w,
-				fmt.Sprintf("LULESH on the R9 280X under %s — transfers (transfer total %.2f ms)", model, p.TransferNs/1e6),
-				p.Transfers, 5); err != nil {
+	models := modelapi.All()
+	cells := make([]runner.Cell, len(models))
+	for i, model := range models {
+		model := model
+		cells[i] = runner.Cell{Label: "profile/" + string(model), Run: func(cx *runner.Ctx) error {
+			p := ProfileData(scale, model)
+			if err := profileTable(cx.Out,
+				fmt.Sprintf("LULESH on the R9 280X under %s — top kernels (kernel total %.2f ms)", model, p.KernelNs/1e6),
+				p.Kernels, 10); err != nil {
 				return err
 			}
-		}
-		fmt.Fprintln(w)
+			if len(p.Transfers) > 0 {
+				if err := profileTable(cx.Out,
+					fmt.Sprintf("LULESH on the R9 280X under %s — transfers (transfer total %.2f ms)", model, p.TransferNs/1e6),
+					p.Transfers, 5); err != nil {
+					return err
+				}
+			}
+			fmt.Fprintln(cx.Out)
+			return nil
+		}}
 	}
-	return nil
+	_, err := runner.Run(w, cells)
+	return err
 }
 
 // RooflineRow characterizes one app on the dGPU: arithmetic intensity,
@@ -118,10 +130,10 @@ type RooflineRow struct {
 // RooflineData replays each app's cost log on the dGPU and places it on
 // the classic roofline: attainable = min(peak, intensity × bandwidth).
 func RooflineData(scale Scale) []RooflineRow {
-	w := newWorkloads(scale, timing.Single)
-	var out []RooflineRow
-	for _, r := range w.runners() {
-		m := sim.NewDGPU()
+	return runner.Map("roofline", len(AppNames), func(cx *runner.Ctx, i int) RooflineRow {
+		w := newWorkloads(scale, timing.Single)
+		r, _ := w.runnerByName(AppNames[i])
+		m := cx.Machine(sim.NewDGPU)
 		m.EnableCostLog()
 		r.run(m, modelapi.OpenCL)
 
@@ -152,15 +164,14 @@ func RooflineData(scale Scale) []RooflineRow {
 			bound = "memory"
 		}
 		achieved := flops / m.KernelNs() // flops/ns = Gflops
-		out = append(out, RooflineRow{
+		return RooflineRow{
 			App:                   r.name,
 			IntensityFlopsPerByte: intensity,
 			AchievedGflops:        achieved,
 			AttainableGflops:      attainable,
 			Bound:                 bound,
-		})
-	}
-	return out
+		}
+	})
 }
 
 // RunRoofline renders the roofline table.

@@ -1,0 +1,253 @@
+// Package runner executes an experiment's independent cells on a bounded
+// worker pool and merges their results in deterministic cell order, so an
+// experiment's output is byte-identical to the serial run regardless of
+// how many workers execute it.
+//
+// The contract each cell must honor is isolation: a cell builds every
+// sim.Machine, tracer and fault injector it needs through its own Ctx and
+// shares no mutable state with other cells. The runner supplies the rest
+// of the determinism story — cell outputs are buffered privately and
+// concatenated in cell-index order, per-cell tracers are folded into the
+// run-wide capture tracer in the same order, and the first error in cell
+// order wins — so `hetbench -jobs 32` and `-jobs 1` emit the same bytes
+// and the same trace.
+package runner
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"hetbench/internal/sim"
+	"hetbench/internal/trace"
+)
+
+// Cell is one independent unit of an experiment: it writes its slice of
+// the experiment's output to cx.Out and builds machines via cx.Machine.
+type Cell struct {
+	// Label names the cell in error messages ("coexec/dGPU/LULESH").
+	Label string
+	Run   func(cx *Ctx) error
+}
+
+// Ctx is one cell's private execution context.
+type Ctx struct {
+	// Index is the cell's position in the experiment's cell slice — the
+	// position its output and trace occupy after the deterministic merge.
+	Index int
+	// Out buffers the cell's rendered output; Run concatenates the
+	// buffers in cell order once every cell has finished.
+	Out *bytes.Buffer
+
+	// tracer is the cell's private tracer, non-nil only while a run-wide
+	// capture is installed (the -trace flag).
+	tracer *trace.Tracer
+}
+
+// Machine builds one cell-private machine. When a run-wide trace capture
+// is active the machine attaches to the cell's private tracer (folded
+// into the capture in cell order at merge time) instead of a tracer
+// shared across concurrent cells — that sharing is exactly what would
+// make span order depend on goroutine interleaving. A nil receiver is
+// allowed so experiment helpers can run outside any cell (direct calls
+// from tests); it degenerates to plain construction.
+func (cx *Ctx) Machine(mk func() *sim.Machine) *sim.Machine {
+	m := mk()
+	if cx != nil && cx.tracer != nil && m.Tracer() == nil {
+		m.SetTracer(cx.tracer)
+	}
+	return m
+}
+
+// jobs/capture are run-wide knobs (the cmd/hetbench -jobs and -trace
+// flags). They are read once per Run call, so flipping them mid-run does
+// not tear a merge.
+var (
+	mu      sync.Mutex
+	jobs    = DefaultJobs()
+	capture *trace.Tracer
+	total   Stats
+)
+
+// DefaultJobs is the worker count used when none is configured: the
+// HETBENCH_JOBS environment variable if set to a positive integer
+// (CI pins it to exercise both serial and parallel schedules), else
+// GOMAXPROCS.
+func DefaultJobs() int {
+	if s := os.Getenv("HETBENCH_JOBS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetJobs bounds the worker pool; n < 1 restores the default.
+func SetJobs(n int) {
+	mu.Lock()
+	defer mu.Unlock()
+	if n < 1 {
+		jobs = DefaultJobs()
+		return
+	}
+	jobs = n
+}
+
+// Jobs returns the configured worker bound.
+func Jobs() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return jobs
+}
+
+// SetCapture installs (or, with nil, removes) the run-wide tracer that
+// cell tracers fold into. While a capture is installed, every Ctx gets a
+// private tracer and Ctx.Machine attaches machines to it.
+func SetCapture(t *trace.Tracer) {
+	mu.Lock()
+	defer mu.Unlock()
+	capture = t
+}
+
+// Capture returns the installed run-wide tracer, if any.
+func Capture() *trace.Tracer {
+	mu.Lock()
+	defer mu.Unlock()
+	return capture
+}
+
+// Stats summarizes one Run (or, via TotalStats, all runs so far).
+type Stats struct {
+	Cells int
+	Jobs  int
+	// Wall is the pool's elapsed time; Serial is the sum of per-cell
+	// times — the serial-run estimate the speedup compares against.
+	Wall   time.Duration
+	Serial time.Duration
+}
+
+// Speedup is the serial-estimate-over-wall ratio.
+func (s Stats) Speedup() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Serial) / float64(s.Wall)
+}
+
+// String renders the stats as the one-line -v report.
+func (s Stats) String() string {
+	if s.Cells == 0 {
+		return "runner: 0 cells"
+	}
+	return fmt.Sprintf("runner: %d cells on %d workers: wall %.1fms, serial estimate %.1fms, speedup %.2fx",
+		s.Cells, s.Jobs, float64(s.Wall)/1e6, float64(s.Serial)/1e6, s.Speedup())
+}
+
+func addTotal(s Stats) {
+	mu.Lock()
+	defer mu.Unlock()
+	total.Cells += s.Cells
+	total.Wall += s.Wall
+	total.Serial += s.Serial
+	if s.Jobs > total.Jobs {
+		total.Jobs = s.Jobs
+	}
+}
+
+// TotalStats returns stats accumulated over every Run since ResetStats;
+// Wall sums the pools' elapsed times (Run calls do not overlap in the
+// CLI, so the sum is the experiment's runner-time).
+func TotalStats() Stats {
+	mu.Lock()
+	defer mu.Unlock()
+	return total
+}
+
+// ResetStats clears the run-wide accumulator.
+func ResetStats() {
+	mu.Lock()
+	defer mu.Unlock()
+	total = Stats{}
+}
+
+// Run executes the cells on the bounded pool and, after all of them
+// finish, replays their effects in cell order: output buffers are
+// concatenated into w (nil w discards output — the Map pattern, where
+// cells communicate through their closure), per-cell tracers fold into
+// the capture tracer, and the first error in cell order is returned.
+func Run(w io.Writer, cells []Cell) (Stats, error) {
+	nJobs := Jobs()
+	capTracer := Capture()
+	ctxs := make([]*Ctx, len(cells))
+	errs := make([]error, len(cells))
+	durs := make([]time.Duration, len(cells))
+	start := time.Now()
+	sem := make(chan struct{}, nJobs)
+	var wg sync.WaitGroup
+	for i := range cells {
+		cx := &Ctx{Index: i, Out: &bytes.Buffer{}}
+		if capTracer != nil {
+			cx.tracer = trace.New()
+		}
+		ctxs[i] = cx
+		wg.Add(1)
+		go func(i int, cx *Ctx) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t0 := time.Now()
+			errs[i] = cells[i].Run(cx)
+			durs[i] = time.Since(t0)
+		}(i, cx)
+	}
+	wg.Wait()
+	stats := Stats{Cells: len(cells), Jobs: nJobs, Wall: time.Since(start)}
+	for _, d := range durs {
+		stats.Serial += d
+	}
+	addTotal(stats)
+
+	for i, cx := range ctxs {
+		if errs[i] != nil {
+			return stats, fmt.Errorf("runner: cell %d (%s): %w", i, cells[i].Label, errs[i])
+		}
+		if w != nil {
+			if _, err := w.Write(cx.Out.Bytes()); err != nil {
+				return stats, err
+			}
+		}
+		if capTracer != nil {
+			capTracer.Fold(cx.tracer)
+		}
+	}
+	return stats, nil
+}
+
+// Map runs f over indices 0..n-1 as pool cells and returns the results
+// in index order — the shape of every Data-style sweep, where cells
+// compute values instead of rendering text. The cells must not fail;
+// Map exists for infallible measurement closures.
+func Map[T any](label string, n int, f func(cx *Ctx, i int) T) []T {
+	out := make([]T, n)
+	cells := make([]Cell, n)
+	for i := 0; i < n; i++ {
+		i := i
+		cells[i] = Cell{
+			Label: fmt.Sprintf("%s[%d]", label, i),
+			Run: func(cx *Ctx) error {
+				out[i] = f(cx, i)
+				return nil
+			},
+		}
+	}
+	if _, err := Run(nil, cells); err != nil {
+		// Unreachable: the cells above never return errors and w is nil.
+		panic(err)
+	}
+	return out
+}

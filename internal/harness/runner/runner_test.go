@@ -1,0 +1,209 @@
+package runner
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hetbench/internal/sim"
+	"hetbench/internal/sim/timing"
+	"hetbench/internal/trace"
+)
+
+// kernelCost is a minimal valid launch cost for tracer-plumbing tests.
+func kernelCost(items int) timing.KernelCost {
+	return timing.KernelCost{
+		Items: items, SPFlops: 4, LoadBytes: 16, StoreBytes: 8,
+		Instrs: 10, MissRate: 0.2, Coalesce: 1,
+	}
+}
+
+// withJobs pins the worker bound for one test and restores it after.
+func withJobs(t *testing.T, n int) {
+	t.Helper()
+	old := Jobs()
+	SetJobs(n)
+	t.Cleanup(func() { SetJobs(old) })
+}
+
+// Output must be concatenated in cell order no matter how the pool
+// schedules the cells; the later cells finish first here by construction.
+func TestRunMergesInCellOrder(t *testing.T) {
+	withJobs(t, 8)
+	const n = 16
+	cells := make([]Cell, n)
+	for i := 0; i < n; i++ {
+		i := i
+		cells[i] = Cell{Label: fmt.Sprintf("cell-%d", i), Run: func(cx *Ctx) error {
+			// Early cells sleep longest, so completion order is reversed.
+			time.Sleep(time.Duration(n-i) * time.Millisecond)
+			fmt.Fprintf(cx.Out, "cell %02d\n", i)
+			return nil
+		}}
+	}
+	var buf bytes.Buffer
+	stats, err := Run(&buf, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&want, "cell %02d\n", i)
+	}
+	if buf.String() != want.String() {
+		t.Errorf("merged output out of cell order:\n%s", buf.String())
+	}
+	if stats.Cells != n || stats.Jobs != 8 {
+		t.Errorf("stats = %+v, want %d cells on 8 workers", stats, n)
+	}
+	if stats.Serial < stats.Wall {
+		t.Errorf("serial estimate %v below wall %v", stats.Serial, stats.Wall)
+	}
+}
+
+// The pool must never run more than the configured number of cells at
+// once.
+func TestRunBoundsConcurrency(t *testing.T) {
+	withJobs(t, 3)
+	var active, peak atomic.Int64
+	cells := make([]Cell, 24)
+	for i := range cells {
+		cells[i] = Cell{Run: func(cx *Ctx) error {
+			cur := active.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			active.Add(-1)
+			return nil
+		}}
+	}
+	if _, err := Run(nil, cells); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Errorf("observed %d concurrent cells, want at most 3", p)
+	}
+}
+
+// The first error in cell order wins, even when a later-indexed cell
+// fails first in wall time.
+func TestRunFirstErrorInCellOrder(t *testing.T) {
+	withJobs(t, 4)
+	errA, errB := errors.New("cell 1 failed"), errors.New("cell 3 failed")
+	cells := []Cell{
+		{Label: "ok", Run: func(cx *Ctx) error { return nil }},
+		{Label: "slow-fail", Run: func(cx *Ctx) error { time.Sleep(5 * time.Millisecond); return errA }},
+		{Label: "ok", Run: func(cx *Ctx) error { return nil }},
+		{Label: "fast-fail", Run: func(cx *Ctx) error { return errB }},
+	}
+	_, err := Run(nil, cells)
+	if !errors.Is(err, errA) {
+		t.Fatalf("Run error = %v, want the cell-order-first %v", err, errA)
+	}
+	if !strings.Contains(err.Error(), "slow-fail") {
+		t.Errorf("error %q does not name the failing cell", err)
+	}
+}
+
+// Map returns results in index order.
+func TestMapOrdersResults(t *testing.T) {
+	withJobs(t, 8)
+	got := Map("square", 20, func(cx *Ctx, i int) int {
+		time.Sleep(time.Duration(20-i) * time.Millisecond)
+		return i * i
+	})
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("Map[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// With a capture installed, machines built through the Ctx trace into
+// per-cell tracers that fold into the capture in cell order — so the
+// merged span set is identical at any worker count.
+func TestCaptureFoldsDeterministically(t *testing.T) {
+	render := func(jobs int) ([]trace.Span, []string, map[string]float64) {
+		withJobs(t, jobs)
+		cap := trace.New()
+		SetCapture(cap)
+		defer SetCapture(nil)
+		cells := make([]Cell, 6)
+		for i := range cells {
+			i := i
+			cells[i] = Cell{Run: func(cx *Ctx) error {
+				m := cx.Machine(sim.NewDGPU)
+				m.LaunchKernel(sim.OnAccelerator, fmt.Sprintf("k%d", i), kernelCost(1000*(i+1)))
+				return nil
+			}}
+		}
+		if _, err := Run(nil, cells); err != nil {
+			t.Fatal(err)
+		}
+		return cap.Spans(), cap.Processes(), cap.Metrics().Snapshot()
+	}
+	spans1, procs1, ctrs1 := render(1)
+	spans8, procs8, ctrs8 := render(8)
+	if len(spans1) != len(spans8) {
+		t.Fatalf("span count differs: %d serial vs %d parallel", len(spans1), len(spans8))
+	}
+	for i := range spans1 {
+		if spans1[i] != spans8[i] {
+			t.Fatalf("span %d differs:\nserial:   %+v\nparallel: %+v", i, spans1[i], spans8[i])
+		}
+	}
+	if fmt.Sprint(procs1) != fmt.Sprint(procs8) {
+		t.Errorf("process lists differ: %v vs %v", procs1, procs8)
+	}
+	if len(ctrs1) == 0 || fmt.Sprint(ctrs1) != fmt.Sprint(ctrs8) {
+		t.Errorf("counter registries differ: %v vs %v", ctrs1, ctrs8)
+	}
+}
+
+// Without a capture, Ctx.Machine is plain construction, and a nil Ctx
+// (direct Data calls from tests) is tolerated.
+func TestMachineWithoutCapture(t *testing.T) {
+	cx := &Ctx{Out: &bytes.Buffer{}}
+	if m := cx.Machine(sim.NewAPU); m.Tracer() != nil {
+		t.Error("machine picked up a tracer with no capture installed")
+	}
+	var nilCx *Ctx
+	if m := nilCx.Machine(sim.NewDGPU); m == nil || m.Tracer() != nil {
+		t.Error("nil Ctx did not degenerate to plain construction")
+	}
+}
+
+func TestSetJobsDefaultAndStats(t *testing.T) {
+	withJobs(t, 5)
+	if Jobs() != 5 {
+		t.Fatalf("Jobs() = %d after SetJobs(5)", Jobs())
+	}
+	SetJobs(0)
+	if Jobs() != DefaultJobs() {
+		t.Errorf("SetJobs(0) did not restore the default %d", DefaultJobs())
+	}
+
+	s := Stats{Cells: 4, Jobs: 2, Wall: 50 * time.Millisecond, Serial: 100 * time.Millisecond}
+	if got := s.Speedup(); got != 2 {
+		t.Errorf("Speedup = %g, want 2", got)
+	}
+	if !strings.Contains(s.String(), "4 cells") {
+		t.Errorf("Stats.String() = %q", s.String())
+	}
+
+	ResetStats()
+	withJobs(t, 2)
+	Run(nil, []Cell{{Run: func(cx *Ctx) error { return nil }}})
+	Run(nil, []Cell{{Run: func(cx *Ctx) error { return nil }}})
+	if tot := TotalStats(); tot.Cells != 2 {
+		t.Errorf("TotalStats().Cells = %d after two 1-cell runs", tot.Cells)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"hetbench/internal/apps/lulesh"
+	"hetbench/internal/harness/runner"
 	"hetbench/internal/models/mpix"
 	"hetbench/internal/report"
 	"hetbench/internal/sim"
@@ -25,8 +26,13 @@ func ScalingData(scale Scale) []lulesh.MPIXResult {
 	case ScalePaper:
 		cfg = lulesh.Config{S: 96, Iters: 50, FunctionalIters: 1} // 96 divides all rank counts
 	}
-	p := lulesh.NewProblem(cfg, timing.Double)
-	return p.StrongScaling(scalingRankCounts, sim.NewDGPU, mpix.DefaultFabric())
+	// One runner cell per cluster size: each rank-count measurement builds
+	// its own problem and machines, so the sweep scales with host cores.
+	return runner.Map("scaling", len(scalingRankCounts), func(cx *runner.Ctx, i int) lulesh.MPIXResult {
+		p := lulesh.NewProblem(cfg, timing.Double)
+		mk := func() *sim.Machine { return cx.Machine(sim.NewDGPU) }
+		return p.StrongScaling([]int{scalingRankCounts[i]}, mk, mpix.DefaultFabric())[0]
+	})
 }
 
 // RunScaling renders the strong-scaling table.

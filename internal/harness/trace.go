@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"hetbench/internal/apps/appcore"
+	"hetbench/internal/harness/runner"
 	"hetbench/internal/models/modelapi"
 	"hetbench/internal/report"
 	"hetbench/internal/sim"
@@ -20,19 +21,25 @@ type ModelTrace struct {
 	Tracer *trace.Tracer
 }
 
+// modelTrace runs LULESH under one GPU model on the dGPU with a fresh
+// dedicated tracer, the unit of both TraceData and the trace experiment's
+// runner cells.
+func modelTrace(scale Scale, model modelapi.Name) ModelTrace {
+	w := newWorkloads(scale, timing.Double)
+	m := sim.NewDGPU()
+	t := trace.New()
+	m.SetTracer(t)
+	res := w.Lulesh().Run(m, model)
+	return ModelTrace{Model: model, Result: res, Tracer: t}
+}
+
 // TraceData runs LULESH under each GPU model on the dGPU with a fresh
 // tracer per model, so the three span sets can be compared side by side.
 func TraceData(scale Scale) []ModelTrace {
-	w := newWorkloads(scale, timing.Double)
-	out := make([]ModelTrace, 0, len(modelapi.All()))
-	for _, model := range modelapi.All() {
-		m := sim.NewDGPU()
-		t := trace.New()
-		m.SetTracer(t)
-		res := w.Lulesh.Run(m, model)
-		out = append(out, ModelTrace{Model: model, Result: res, Tracer: t})
-	}
-	return out
+	models := modelapi.All()
+	return runner.Map("trace", len(models), func(cx *runner.Ctx, i int) ModelTrace {
+		return modelTrace(scale, models[i])
+	})
 }
 
 // lastIteration returns the last completed iteration span, the timeline's
@@ -92,37 +99,46 @@ func iterationTimeline(title string, it trace.Span, spans []trace.Span) *report.
 // C++ AMP timeline shows the CPU-fallback kernel and the per-iteration
 // view round trips it induces dominating the step.
 func RunTrace(scale Scale, w io.Writer) error {
-	for _, mt := range TraceData(scale) {
-		spans := mt.Tracer.Spans()
-		fmt.Fprintf(w, "--- LULESH on the R9 280X under %s: %.3f ms elapsed (kernel %.3f ms, transfer %.3f ms) ---\n\n",
-			mt.Model, mt.Result.ElapsedNs/1e6, mt.Result.KernelNs/1e6, mt.Result.TransferNs/1e6)
+	models := modelapi.All()
+	cells := make([]runner.Cell, len(models))
+	for i, model := range models {
+		model := model
+		cells[i] = runner.Cell{Label: "trace/" + string(model), Run: func(cx *runner.Ctx) error {
+			mt := modelTrace(scale, model)
+			out := cx.Out
+			spans := mt.Tracer.Spans()
+			fmt.Fprintf(out, "--- LULESH on the R9 280X under %s: %.3f ms elapsed (kernel %.3f ms, transfer %.3f ms) ---\n\n",
+				mt.Model, mt.Result.ElapsedNs/1e6, mt.Result.KernelNs/1e6, mt.Result.TransferNs/1e6)
 
-		if it, ok := lastIteration(spans); ok {
-			tl := iterationTimeline(
-				fmt.Sprintf("%s — iteration %q (top %d operations)", mt.Model, it.Name, timelineBars),
-				it, spans)
-			if _, err := tl.WriteTo(w); err != nil {
+			if it, ok := lastIteration(spans); ok {
+				tl := iterationTimeline(
+					fmt.Sprintf("%s — iteration %q (top %d operations)", mt.Model, it.Name, timelineBars),
+					it, spans)
+				if _, err := tl.WriteTo(out); err != nil {
+					return err
+				}
+				fmt.Fprintln(out)
+			}
+
+			kernels := trace.Aggregate(spans, trace.KindKernel)
+			if err := aggTable(out, fmt.Sprintf("%s — kernels by total time", mt.Model), kernels, 8); err != nil {
 				return err
 			}
-			fmt.Fprintln(w)
-		}
+			if transfers := trace.Aggregate(spans, trace.KindTransfer); len(transfers) > 0 {
+				if err := aggTable(out, fmt.Sprintf("%s — transfers by total time", mt.Model), transfers, 5); err != nil {
+					return err
+				}
+			}
 
-		kernels := trace.Aggregate(spans, trace.KindKernel)
-		if err := aggTable(w, fmt.Sprintf("%s — kernels by total time", mt.Model), kernels, 8); err != nil {
-			return err
-		}
-		if transfers := trace.Aggregate(spans, trace.KindTransfer); len(transfers) > 0 {
-			if err := aggTable(w, fmt.Sprintf("%s — transfers by total time", mt.Model), transfers, 5); err != nil {
+			if err := counterTable(out, fmt.Sprintf("%s — run counters", mt.Model), mt.Tracer.Metrics()); err != nil {
 				return err
 			}
-		}
-
-		if err := counterTable(w, fmt.Sprintf("%s — run counters", mt.Model), mt.Tracer.Metrics()); err != nil {
-			return err
-		}
-		fmt.Fprintln(w)
+			fmt.Fprintln(out)
+			return nil
+		}}
 	}
-	return nil
+	_, err := runner.Run(w, cells)
+	return err
 }
 
 func aggTable(w io.Writer, title string, aggs []trace.Agg, limit int) error {

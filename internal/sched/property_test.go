@@ -1,0 +1,158 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"hetbench/internal/fault"
+	"hetbench/internal/sim"
+	"hetbench/internal/sim/timing"
+)
+
+// randomCost draws a valid kernel-cost shape: anything from tiny
+// compute-bound stencils to scattered memory-bound gathers.
+func randomCost(rng *rand.Rand, items int) timing.KernelCost {
+	return timing.KernelCost{
+		Items:          items,
+		SPFlops:        rng.Float64() * 64,
+		DPFlops:        rng.Float64() * 16,
+		LoadBytes:      1 + rng.Float64()*512,
+		StoreBytes:     rng.Float64() * 64,
+		LDSBytes:       rng.Float64() * 32,
+		Instrs:         1 + rng.Float64()*256,
+		MissRate:       rng.Float64(),
+		Coalesce:       1.0/16 + rng.Float64()*15.0/16,
+		VecEff:         0.25 + rng.Float64()*0.75,
+		MemEff:         0.25 + rng.Float64()*0.75,
+		SerialFraction: rng.Float64() * 0.5,
+	}
+}
+
+// recordedChunk is one OnChunk observation.
+type recordedChunk struct {
+	t        sim.Target
+	n        int
+	migrated bool
+}
+
+// TestPartitionProperties drives every policy over random kernel shapes and
+// checks the invariants the co-execution results rest on:
+//
+//   - exact coverage: the booked chunks partition the iteration space (no
+//     item lost, none run twice), and Stats agrees with the OnChunk stream;
+//   - wavefront alignment: at most one chunk per launch carries a partial
+//     wavefront (the remainder), whenever the launch spans at least one;
+//   - bounded makespan: the merged wall time never exceeds the slower
+//     device running the whole launch alone plus per-chunk launch slack —
+//     splitting can be useless on degenerate shapes, but never ruinous.
+func TestPartitionProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	machines := []func() *sim.Machine{sim.NewAPU, sim.NewDGPU}
+	policies := []Policy{Static, Dynamic, HGuided}
+
+	for trial := 0; trial < 50; trial++ {
+		items := 1 + rng.Intn(1<<16)
+		mk := machines[rng.Intn(len(machines))]
+		cost := randomCost(rng, items)
+		for _, pol := range policies {
+			var chunks []recordedChunk
+			s := New(Config{Policy: pol, OnChunk: func(tg sim.Target, n int, mig bool) {
+				chunks = append(chunks, recordedChunk{tg, n, mig})
+			}})
+			m := mk()
+			m.SetCoexec(s)
+			r, ok := m.LaunchKernelSplit("prop", cost, cost)
+			if !ok {
+				t.Fatalf("trial %d %v: split launch not routed", trial, pol)
+			}
+
+			// Coverage: chunks partition the launch exactly, per device and
+			// in total, and the observer saw every booking.
+			var sum int
+			byTarget := map[sim.Target]int64{}
+			offWave := 0
+			wf := m.Accelerator().WavefrontSize
+			for _, c := range chunks {
+				if c.n <= 0 {
+					t.Fatalf("trial %d %v: empty chunk booked: %+v", trial, pol, c)
+				}
+				if c.migrated {
+					t.Fatalf("trial %d %v: chunk migrated with no fault injector", trial, pol)
+				}
+				sum += c.n
+				byTarget[c.t] += int64(c.n)
+				if c.n%wf != 0 {
+					offWave++
+				}
+			}
+			if sum != items {
+				t.Fatalf("trial %d %v (%d items): chunks sum to %d", trial, pol, items, sum)
+			}
+			st := s.Stats()
+			if st.HostItems != byTarget[sim.OnHost] || st.AccelItems != byTarget[sim.OnAccelerator] {
+				t.Fatalf("trial %d %v: stats %+v disagree with observed chunks %v", trial, pol, st, byTarget)
+			}
+			if st.HostItems+st.AccelItems != int64(items) {
+				t.Fatalf("trial %d %v: stats cover %d of %d items", trial, pol, st.HostItems+st.AccelItems, items)
+			}
+			if st.Chunks != len(chunks) {
+				t.Fatalf("trial %d %v: OnChunk saw %d bookings, stats counted %d", trial, pol, len(chunks), st.Chunks)
+			}
+
+			// Alignment: only the remainder may be off-wavefront.
+			if items >= wf && offWave > 1 {
+				t.Errorf("trial %d %v (%d items, wf %d): %d chunks off wavefront alignment",
+					trial, pol, items, wf, offWave)
+			}
+
+			// Makespan: each device's busy time is at most running the whole
+			// launch alone plus one launch overhead per chunk (a wf-sized
+			// launch bounds the fixed cost), so the merged wall time is too.
+			hostAlone := m.HostModel().Kernel(cost).TimeNs
+			accelAlone := m.AcceleratorModel().Kernel(cost).TimeNs
+			worstAlone := hostAlone
+			if accelAlone > worstAlone {
+				worstAlone = accelAlone
+			}
+			unit := m.HostModel().Kernel(chunkCost(cost, wf)).TimeNs
+			if a := m.AcceleratorModel().Kernel(chunkCost(cost, wf)).TimeNs; a > unit {
+				unit = a
+			}
+			if bound := worstAlone + float64(st.Chunks)*unit; r.TimeNs > bound {
+				t.Errorf("trial %d %v (%d items): makespan %g ns exceeds bound %g ns (alone %g, %d chunks)",
+					trial, pol, items, r.TimeNs, bound, worstAlone, st.Chunks)
+			}
+		}
+	}
+}
+
+// The OnChunk observer also reports migrations: with the accelerator inside
+// a loss window, every observed chunk lands on the host flagged migrated.
+func TestOnChunkReportsMigration(t *testing.T) {
+	m := sim.NewDGPU()
+	inj := fault.New(fault.Config{Seed: 1, DeviceLossRate: 0.75, DeviceLossNs: 1e12})
+	m.SetFaultInjector(inj, fault.DefaultPolicy())
+	opened := false
+	for i := 0; i < 1000 && !opened; i++ {
+		opened = inj.Launch(0) == fault.DeviceLost
+	}
+	if !opened {
+		t.Fatal("no device loss drawn in 1000 tries at a 0.75 rate")
+	}
+	var chunks []recordedChunk
+	s := New(Config{Policy: Dynamic, OnChunk: func(tg sim.Target, n int, mig bool) {
+		chunks = append(chunks, recordedChunk{tg, n, mig})
+	}})
+	m.SetCoexec(s)
+	if _, ok := m.LaunchKernelSplit("k", streamCost(1<<12), streamCost(1<<12)); !ok {
+		t.Fatal("not routed")
+	}
+	if len(chunks) == 0 {
+		t.Fatal("observer saw no chunks")
+	}
+	for _, c := range chunks {
+		if c.t != sim.OnHost || !c.migrated {
+			t.Fatalf("chunk %+v ran off-host or unflagged during a loss window", c)
+		}
+	}
+}

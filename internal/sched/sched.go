@@ -94,6 +94,12 @@ type Config struct {
 	// Seed is reserved for stochastic policies; the three shipped policies
 	// are deterministic and never draw from it.
 	Seed int64
+
+	// OnChunk, when non-nil, observes every chunk the scheduler books, in
+	// booking order: the device it ran on, its item count, and whether a
+	// device-loss window rerouted it to the host. Observers must not block;
+	// they run inside the planning loop.
+	OnChunk func(t sim.Target, items int, migrated bool)
 }
 
 // Validate reports unusable configurations.
@@ -214,6 +220,9 @@ func (s *Scheduler) LaunchSplit(m *sim.Machine, l sim.CoexecLaunch) timing.Resul
 		if c.migrated {
 			st.Migrated++
 		}
+		if s.cfg.OnChunk != nil {
+			s.cfg.OnChunk(c.t, c.n, c.migrated)
+		}
 	}
 	switch s.cfg.Policy {
 	case Static:
@@ -261,13 +270,19 @@ func (s *Scheduler) LaunchSplit(m *sim.Machine, l sim.CoexecLaunch) timing.Resul
 }
 
 // runStatic carves one chunk per device with the host taking either the
-// configured fraction or its roofline-proportional share.
+// configured fraction or its roofline-proportional share. The host chunk
+// snaps to the nearest wavefront multiple so at most the accelerator's
+// chunk carries a partial wavefront, matching the dynamic policies'
+// alignment guarantee.
 func (s *Scheduler) runStatic(m *sim.Machine, q *sim.CoexecQueue, items int, hostRate, accelRate float64, run func(chunk)) {
 	frac := s.cfg.HostFraction
 	if frac <= 0 {
 		frac = hostRate / (hostRate + accelRate)
 	}
 	hostItems := int(frac*float64(items) + 0.5)
+	if wf := m.Accelerator().WavefrontSize; wf > 1 && items >= wf {
+		hostItems = (hostItems + wf/2) / wf * wf
+	}
 	if hostItems > items {
 		hostItems = items
 	}

@@ -93,6 +93,40 @@ func (r *Registry) Gauge(name string) float64 {
 	return r.gauges[name]
 }
 
+// Merge folds another registry into r: counters accumulate, gauges take
+// the source's last value. Merging per-cell registries into the run-wide
+// one in a fixed cell order yields bit-identical totals at any worker
+// count, because each counter's additions happen in the same sequence.
+func (r *Registry) Merge(src *Registry) {
+	if src == nil || src == r {
+		return
+	}
+	src.mu.Lock()
+	counters := make(map[string]float64, len(src.c))
+	for k, v := range src.c {
+		counters[k] = v
+	}
+	gauges := make(map[string]float64, len(src.gauges))
+	for k, v := range src.gauges {
+		gauges[k] = v
+	}
+	src.mu.Unlock()
+	r.mu.Lock()
+	if r.c == nil && len(counters) > 0 {
+		r.c = make(map[string]float64, len(counters))
+	}
+	for k, v := range counters {
+		r.c[k] += v
+	}
+	if r.gauges == nil && len(gauges) > 0 {
+		r.gauges = make(map[string]float64, len(gauges))
+	}
+	for k, v := range gauges {
+		r.gauges[k] = v
+	}
+	r.mu.Unlock()
+}
+
 // Snapshot returns a copy of all counters.
 func (r *Registry) Snapshot() map[string]float64 {
 	r.mu.Lock()

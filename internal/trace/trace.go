@@ -152,6 +152,41 @@ func (t *Tracer) SpansSince(mark int) []Span {
 // Metrics returns the tracer's counter registry.
 func (t *Tracer) Metrics() *Registry { return &t.metrics }
 
+// Fold appends a child tracer's processes, spans and counters into t,
+// remapping process indices and span IDs so identities stay unique in the
+// combined trace. This is how the parallel experiment runner keeps traced
+// runs deterministic: every concurrently-executing cell records into its
+// own private tracer, and the cells are folded into the run-wide tracer
+// in cell order after all of them finish — so the merged span set is
+// identical at any worker count. Fold assumes every child span ID was
+// allocated by the child's NewSpanID (the Machine's emission path); a
+// span carrying a hand-picked ID above the child's high-water mark could
+// collide after remapping.
+func (t *Tracer) Fold(child *Tracer) {
+	if child == nil || child == t {
+		return
+	}
+	spans := child.Spans()
+	procs := child.Processes()
+	// Reserve the child's whole ID range atomically, then shift every
+	// child ID into it (parent 0 means "root" and stays 0).
+	used := child.nextID.Load()
+	offset := t.nextID.Add(used) - used
+	t.mu.Lock()
+	procBase := len(t.procs)
+	t.procs = append(t.procs, procs...)
+	for _, s := range spans {
+		s.ID += offset
+		if s.Parent != 0 {
+			s.Parent += offset
+		}
+		s.Proc += procBase
+		t.spans = append(t.spans, s)
+	}
+	t.mu.Unlock()
+	t.metrics.Merge(child.Metrics())
+}
+
 // ByStart returns the spans sorted by (proc, track, start, -duration):
 // the stable timeline order the exporters and renderers use, with
 // enclosing spans ahead of the children that share their start time.

@@ -196,3 +196,88 @@ func TestRegistry(t *testing.T) {
 		t.Error("reset incomplete")
 	}
 }
+
+// Fold must remap child span IDs, parent links and process indices into
+// the destination's namespace while leaving span payloads untouched.
+func TestFold(t *testing.T) {
+	dst := New()
+	dst.RegisterProcess("machine-a")
+	rootID := dst.NewSpanID()
+	dst.Emit(Span{ID: rootID, Name: "dst-root", Kind: KindRun})
+
+	child := New()
+	proc := child.RegisterProcess("machine-b")
+	parent := child.NewSpanID()
+	kid := child.NewSpanID()
+	child.Emit(Span{ID: kid, Parent: parent, Proc: proc, Name: "kernel", Kind: KindKernel, DurNs: 5})
+	child.Emit(Span{ID: parent, Proc: proc, Name: "run", Kind: KindRun, DurNs: 9})
+	child.Metrics().Add(CtrKernelLaunches, 1)
+	child.Metrics().SetGauge("clock.mhz", 925)
+
+	dst.Fold(child)
+
+	procs := dst.Processes()
+	if len(procs) != 2 || procs[1] != "machine-b" {
+		t.Fatalf("processes after fold: %v", procs)
+	}
+	spans := dst.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("span count after fold: %d", len(spans))
+	}
+	fk, fr := spans[1], spans[2]
+	if fk.Name != "kernel" || fr.Name != "run" {
+		t.Fatalf("folded spans out of order: %+v", spans)
+	}
+	if fk.ID == kid || fk.ID == rootID || fk.Parent != fr.ID {
+		t.Errorf("IDs not remapped consistently: kernel %+v run %+v", fk, fr)
+	}
+	if fk.Proc != 1 || fr.Proc != 1 {
+		t.Errorf("proc indices not shifted: kernel proc %d, run proc %d", fk.Proc, fr.Proc)
+	}
+	if fk.DurNs != 5 || fr.DurNs != 9 {
+		t.Errorf("span payloads changed: %+v %+v", fk, fr)
+	}
+	// Fresh IDs allocated after the fold must not collide with folded ones.
+	next := dst.NewSpanID()
+	if next == fk.ID || next == fr.ID || next == rootID {
+		t.Errorf("NewSpanID %d collides with folded IDs", next)
+	}
+	if dst.Metrics().Get(CtrKernelLaunches) != 1 || dst.Metrics().Gauge("clock.mhz") != 925 {
+		t.Error("metrics not merged on fold")
+	}
+
+	// Folding nil or self is a no-op.
+	dst.Fold(nil)
+	dst.Fold(dst)
+	if dst.Len() != 3 {
+		t.Errorf("nil/self fold changed span count to %d", dst.Len())
+	}
+}
+
+// Merge accumulates counters and overwrites gauges; merged-in-order
+// registries are bit-identical regardless of source construction order.
+func TestRegistryMerge(t *testing.T) {
+	var a, b, dst Registry
+	a.Add(CtrKernelNs, 100)
+	a.SetGauge("g", 1)
+	b.Add(CtrKernelNs, 28)
+	b.Add(CtrTransferNs, 7)
+	b.SetGauge("g", 2)
+	dst.Add(CtrKernelNs, 1)
+	dst.Merge(&a)
+	dst.Merge(&b)
+	if got := dst.Get(CtrKernelNs); got != 129 {
+		t.Errorf("merged counter = %g, want 129", got)
+	}
+	if got := dst.Get(CtrTransferNs); got != 7 {
+		t.Errorf("merged counter = %g, want 7", got)
+	}
+	if got := dst.Gauge("g"); got != 2 {
+		t.Errorf("merged gauge = %g, want last-writer 2", got)
+	}
+	dst.Merge(nil)
+	dst.Merge(&dst)
+	if dst.Get(CtrKernelNs) != 129 {
+		t.Error("nil/self merge changed counters")
+	}
+}
