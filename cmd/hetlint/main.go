@@ -1,0 +1,115 @@
+// Command hetlint runs hetbench's domain static analyzers over the
+// module: detnondet (jobs-determinism hazards), spanleak (unbalanced
+// trace spans), launchcheck (mishandled fault events) and counterkey
+// (malformed counter names). See internal/analysis for the rules and the
+// //hetlint:allow suppression directive.
+//
+// Usage:
+//
+//	hetlint [-list] [-only analyzer[,analyzer]] [packages]
+//
+// Packages default to ./... resolved against the enclosing module.
+// Findings print one per line as "file:line: [analyzer] message", go
+// vet-style; the exit status is 1 when anything is found, 2 on usage or
+// load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hetbench/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+func run(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("hetlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("only", "", "comma-separated subset of analyzers to run")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: hetlint [-list] [-only analyzer[,analyzer]] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := analysis.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		var err error
+		if analyzers, err = selectAnalyzers(analyzers, *only); err != nil {
+			fmt.Fprintf(stderr, "hetlint: %v\n", err)
+			return 2
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "hetlint: %v\n", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintf(stderr, "hetlint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(cwd, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "hetlint: %v\n", err)
+		return 2
+	}
+
+	findings := analysis.RunAnalyzers(pkgs, analyzers)
+	for _, f := range findings {
+		f.Pos.Filename = relPath(cwd, f.Pos.Filename)
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -only subset by name.
+func selectAnalyzers(all []*analysis.Analyzer, only string) ([]*analysis.Analyzer, error) {
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// relPath shortens file paths to cwd-relative form when that is cleaner.
+func relPath(cwd, path string) string {
+	if rel, err := filepath.Rel(cwd, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

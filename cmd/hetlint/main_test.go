@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean is the acceptance gate in test form: hetlint over the
+// whole module must exit 0 with no output. Any new violation of the
+// determinism, span, fault or counter invariants fails this test before
+// it ever reaches CI's dedicated hetlint step.
+func TestRepoIsClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(&out, &errb, []string{"../../..."}); code != 0 {
+		t.Fatalf("hetlint on the module exited %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("expected no findings, got:\n%s", out.String())
+	}
+}
+
+// TestFindingOutputFormat runs hetlint over a fixture that must produce
+// findings and pins the "file:line: [analyzer] message" line format and
+// the exit status 1 contract CI relies on.
+func TestFindingOutputFormat(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run(&out, &errb, []string{"-only", "counterkey", "../../internal/analysis/testdata/src/counterkey"})
+	if code != 1 {
+		t.Fatalf("expected exit 1 on findings, got %d\nstderr:\n%s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("expected 6 findings, got %d:\n%s", len(lines), out.String())
+	}
+	lineRE := regexp.MustCompile(`^.+\.go:\d+: \[counterkey\] .+$`)
+	for _, l := range lines {
+		if !lineRE.MatchString(l) {
+			t.Errorf("malformed finding line: %q", l)
+		}
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(&out, &errb, []string{"-list"}); code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, name := range []string{"detnondet", "spanleak", "launchcheck", "counterkey"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(&out, &errb, []string{"-only", "nosuch", "../../..."}); code != 2 {
+		t.Fatalf("expected exit 2 for unknown analyzer, got %d", code)
+	}
+	if !strings.Contains(errb.String(), "unknown analyzer") {
+		t.Errorf("stderr missing diagnostic: %q", errb.String())
+	}
+}

@@ -1,0 +1,295 @@
+// Package analysis is hetlint's stdlib-only static-analysis driver. It
+// loads every package in the module (go/parser + go/types, no external
+// dependencies) and runs four domain analyzers that turn the repo's
+// load-bearing conventions into mechanically-checked rules:
+//
+//   - detnondet:   no wall-clock or global-PRNG nondeterminism in
+//     result-producing code (the TestGolden jobs-determinism contract);
+//   - spanleak:    every sim.ActiveSpan opened by StartSpan/StartRun/
+//     StartIteration is closed on all control-flow paths;
+//   - launchcheck: fault events from LaunchKernelChecked are never
+//     discarded, and fault-participating packages never bypass the
+//     injector with a bare accelerator LaunchKernel;
+//   - counterkey:  trace counter names are lowercase dotted string
+//     constants in the established namespaces, never formatted at
+//     runtime on the launch hot path.
+//
+// Intentional violations are annotated in source with
+//
+//	//hetlint:allow <analyzer> <reason>
+//
+// on the flagged line or the line directly above it. The driver reports
+// misspelled and unused directives itself, so a suppression cannot
+// silently outlive the code it excused.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic: an invariant violation, or a problem with a
+// suppression directive (Analyzer == DirectiveName).
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the go vet-style one-line form "file:line: [analyzer] msg".
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named rule run over each loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one (package, analyzer) run; analyzers report through it.
+type Pass struct {
+	Pkg    *Package
+	report func(pos token.Pos, msg string)
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, fmt.Sprintf(format, args...))
+}
+
+// Analyzers returns hetlint's rule set in its fixed presentation order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{DetNonDet, SpanLeak, LaunchCheck, CounterKey}
+}
+
+// DirectiveName is the pseudo-analyzer findings about the //hetlint:allow
+// directives themselves are attributed to. It is not suppressible.
+const DirectiveName = "directive"
+
+// directivePrefix starts every hetlint source directive.
+const directivePrefix = "hetlint:"
+
+// directive is one parsed //hetlint:allow comment.
+type directive struct {
+	file     string
+	line     int
+	analyzer string
+	used     bool
+}
+
+// RunAnalyzers runs the analyzers over each package, applies the
+// //hetlint:allow directives, and returns the surviving findings sorted
+// by position. Directive problems (unknown analyzer, missing reason,
+// unused suppression) are reported as DirectiveName findings.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		dirs := parseDirectives(pkg, known, &out)
+		var raw []Finding
+		for _, a := range analyzers {
+			pass := &Pass{Pkg: pkg}
+			name := a.Name
+			pass.report = func(pos token.Pos, msg string) {
+				raw = append(raw, Finding{Pos: pkg.Fset.Position(pos), Analyzer: name, Message: msg})
+			}
+			a.Run(pass)
+		}
+		for _, f := range raw {
+			if d := matchDirective(dirs, f); d != nil {
+				d.used = true
+				continue
+			}
+			out = append(out, f)
+		}
+		for _, d := range dirs {
+			if !d.used {
+				out = append(out, Finding{
+					Pos:      token.Position{Filename: d.file, Line: d.line},
+					Analyzer: DirectiveName,
+					Message: fmt.Sprintf("unused //hetlint:allow %s directive: no %s finding on this or the next line",
+						d.analyzer, d.analyzer),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// parseDirectives extracts the package's //hetlint: comments, reporting
+// malformed ones into out and returning the well-formed suppressions.
+func parseDirectives(pkg *Package, known map[string]bool, out *[]Finding) []*directive {
+	var dirs []*directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+directivePrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				verb, rest, _ := strings.Cut(text, " ")
+				if verb != "allow" {
+					*out = append(*out, Finding{Pos: pos, Analyzer: DirectiveName,
+						Message: fmt.Sprintf("unknown hetlint directive %q: only //hetlint:allow <analyzer> <reason> is defined", verb)})
+					continue
+				}
+				name, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				if !known[name] {
+					*out = append(*out, Finding{Pos: pos, Analyzer: DirectiveName,
+						Message: fmt.Sprintf("//hetlint:allow names unknown analyzer %q", name)})
+					continue
+				}
+				if strings.TrimSpace(reason) == "" {
+					*out = append(*out, Finding{Pos: pos, Analyzer: DirectiveName,
+						Message: fmt.Sprintf("//hetlint:allow %s has no reason; the directive grammar is //hetlint:allow <analyzer> <reason>", name)})
+					continue
+				}
+				dirs = append(dirs, &directive{file: pos.Filename, line: pos.Line, analyzer: name})
+			}
+		}
+	}
+	return dirs
+}
+
+// matchDirective returns the directive suppressing f, if any: same
+// analyzer, same file, on the finding's line or the line directly above.
+func matchDirective(dirs []*directive, f Finding) *directive {
+	for _, d := range dirs {
+		if d.analyzer == f.Analyzer && d.file == f.Pos.Filename &&
+			(d.line == f.Pos.Line || d.line == f.Pos.Line-1) {
+			return d
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Shared type/AST helpers for the analyzers.
+
+// calleeObj resolves a call's callee to its types.Object (function or
+// method), or nil for builtins, conversions and indirect calls.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fn]
+	case *ast.SelectorExpr:
+		return info.Uses[fn.Sel]
+	}
+	return nil
+}
+
+// isPkgFunc reports whether obj is the package-level function pkgPath.name.
+func isPkgFunc(obj types.Object, pkgPath string, names ...string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// isMethodOn reports whether obj is a method with the given name on a
+// (possibly pointer-to) named type with the given type name. Matching is
+// by name so the testdata fixture stubs exercise the analyzers exactly
+// like the real sim/trace packages do.
+func isMethodOn(obj types.Object, typeName string, methods ...string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil || namedTypeName(sig.Recv().Type()) != typeName {
+		return false
+	}
+	for _, m := range methods {
+		if fn.Name() == m {
+			return true
+		}
+	}
+	return false
+}
+
+// namedTypeName returns the name of t's (pointer-dereferenced) named
+// type, or "".
+func namedTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// buildParents maps every node under root to its enclosing node.
+func buildParents(root ast.Node) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// enclosingFunc returns the innermost function (FuncDecl body or FuncLit
+// body) containing n, using a parents map.
+func enclosingFunc(parents map[ast.Node]ast.Node, n ast.Node) *ast.BlockStmt {
+	for cur := n; cur != nil; cur = parents[cur] {
+		switch f := cur.(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// inspectSkipFuncLits walks n calling fn, without descending into nested
+// function literals (their control flow is not the enclosing function's).
+func inspectSkipFuncLits(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return fn(m)
+	})
+}

@@ -1,0 +1,91 @@
+package analysis_test
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+
+	"hetbench/internal/analysis"
+	"hetbench/internal/analysis/analysistest"
+)
+
+func fixture(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+// TestAnalyzerFixtures runs each analyzer over its fixture package and
+// asserts the exact `// want` diagnostics (position and message) plus
+// the surviving-finding count, so a silently dead rule fails loudly.
+func TestAnalyzerFixtures(t *testing.T) {
+	tests := []struct {
+		fixture string
+		run     []*analysis.Analyzer
+		want    int
+	}{
+		{"detnondet", []*analysis.Analyzer{analysis.DetNonDet}, 6},
+		{"spanleak", []*analysis.Analyzer{analysis.SpanLeak}, 5},
+		{"launchcheck", []*analysis.Analyzer{analysis.LaunchCheck}, 3},
+		{"launchcheckcorr", []*analysis.Analyzer{analysis.LaunchCheck}, 1},
+		{"launchcheckfree", []*analysis.Analyzer{analysis.LaunchCheck}, 0},
+		{"counterkey", []*analysis.Analyzer{analysis.CounterKey}, 6},
+	}
+	for _, tc := range tests {
+		t.Run(tc.fixture, func(t *testing.T) {
+			findings := analysistest.Run(t, fixture(tc.fixture), tc.run)
+			if len(findings) != tc.want {
+				t.Errorf("got %d findings, want %d:\n%v", len(findings), tc.want, findings)
+			}
+		})
+	}
+}
+
+// TestDirectiveDiagnostics is the negative test for the suppression
+// grammar: unused, misspelled, verbless and reasonless //hetlint
+// directives are themselves reported, attributed to the "directive"
+// pseudo-analyzer, while the one valid directive suppresses silently.
+func TestDirectiveDiagnostics(t *testing.T) {
+	findings := analysistest.Run(t, fixture("directives"), analysis.Analyzers())
+	for _, f := range findings {
+		if f.Analyzer != analysis.DirectiveName {
+			t.Errorf("non-directive finding leaked through: %s", f)
+		}
+	}
+	if len(findings) != 4 {
+		t.Errorf("got %d directive findings, want 4:\n%v", len(findings), findings)
+	}
+	analysistest.MustContain(t, findings, `unused //hetlint:allow counterkey`)
+	analysistest.MustContain(t, findings, `unknown analyzer "detnodnet"`)
+	analysistest.MustContain(t, findings, `//hetlint:allow spanleak has no reason`)
+	analysistest.MustContain(t, findings, `unknown hetlint directive "forbid"`)
+}
+
+// TestFindingString pins the one-line rendering CI greps for.
+func TestFindingString(t *testing.T) {
+	f := analysis.Finding{
+		Pos:      token.Position{Filename: "internal/sim/machine.go", Line: 42},
+		Analyzer: "spanleak",
+		Message:  "span sp from StartSpan is not closed on every path",
+	}
+	got := f.String()
+	want := "internal/sim/machine.go:42: [spanleak] span sp from StartSpan is not closed on every path"
+	if got != want {
+		t.Errorf("Finding.String() = %q, want %q", got, want)
+	}
+}
+
+// TestAnalyzersOrder pins the registry: four rules, fixed names.
+func TestAnalyzersOrder(t *testing.T) {
+	var names []string
+	for _, a := range analysis.Analyzers() {
+		names = append(names, a.Name)
+	}
+	want := []string{"detnondet", "spanleak", "launchcheck", "counterkey"}
+	if len(names) != len(want) {
+		t.Fatalf("Analyzers() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("Analyzers()[%d] = %s, want %s", i, names[i], want[i])
+		}
+	}
+}

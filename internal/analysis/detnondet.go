@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetNonDet flags the nondeterminism hazards that would break the golden
+// suite's jobs-determinism contract (byte-identical output at any -jobs
+// under a fixed -seed):
+//
+//   - wall-clock reads (time.Now, time.Since) in result-producing code —
+//     virtual-time experiments must derive every timestamp from the
+//     simulated clocks;
+//   - the global math/rand source (rand.Intn, rand.Float64, ...) — its
+//     process-wide state makes draws depend on goroutine interleaving;
+//     randomness must flow from rand.New(rand.NewSource(seed));
+//   - ranging over a map while feeding an ordered writer (fmt output,
+//     strings.Builder/bytes.Buffer writes, or appends to a slice that is
+//     never sorted) — map iteration order differs run to run.
+var DetNonDet = &Analyzer{
+	Name: "detnondet",
+	Doc:  "flags wall-clock, global-PRNG and map-order nondeterminism in result-producing code",
+	Run:  runDetNonDet,
+}
+
+// globalRandFuncs are the math/rand package-level functions that draw
+// from the process-wide source. Constructors (New, NewSource, NewZipf)
+// are fine: they are how seeded determinism is built.
+var globalRandFuncs = []string{
+	"Int", "Intn", "Int31", "Int31n", "Int63", "Int63n",
+	"Uint32", "Uint64", "Float32", "Float64",
+	"ExpFloat64", "NormFloat64", "Perm", "Shuffle", "Read", "Seed",
+}
+
+// orderedWriterMethods are method names that serialize into an ordered
+// sink (strings.Builder, bytes.Buffer, any io.Writer wrapper).
+var orderedWriterMethods = map[string]bool{
+	"WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+func runDetNonDet(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				obj := calleeObj(info, n)
+				if isPkgFunc(obj, "time", "Now", "Since") {
+					p.Reportf(n.Pos(), "time.%s reads the wall clock; results must be a function of the seed and the virtual clocks", obj.Name())
+				}
+				if isPkgFunc(obj, "math/rand", globalRandFuncs...) || isPkgFunc(obj, "math/rand/v2", globalRandFuncs...) {
+					p.Reportf(n.Pos(), "rand.%s draws from the global math/rand source; use a rand.New(rand.NewSource(seed)) owned by the run", obj.Name())
+				}
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkMapRangeWriters(p, n.Body)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRangeWriters flags range-over-map loops in fn whose body feeds
+// an ordered writer. Appends are exempt when the destination slice is
+// also passed to a sort/slices call somewhere in the same function — the
+// collect-then-sort idiom is the fix this rule points at.
+func checkMapRangeWriters(p *Pass, fn *ast.BlockStmt) {
+	info := p.Pkg.Info
+	sorted := sortedObjects(info, fn)
+	ast.Inspect(fn, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[rng.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.CallExpr:
+				if name, ok := orderedWriteCall(info, m); ok {
+					p.Reportf(m.Pos(), "%s inside range over map writes in nondeterministic order; collect the keys and sort first", name)
+				}
+			case *ast.AssignStmt:
+				reportUnsortedAppend(p, m, rng, sorted)
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// orderedWriteCall reports whether call writes to an ordered sink, and
+// names the sink for the diagnostic.
+func orderedWriteCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	obj := calleeObj(info, call)
+	if obj == nil {
+		return "", false
+	}
+	if isPkgFunc(obj, "fmt", "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println") {
+		return "fmt." + obj.Name(), true
+	}
+	if isPkgFunc(obj, "io", "WriteString") {
+		return "io.WriteString", true
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if sig := fn.Type().(*types.Signature); sig.Recv() != nil && orderedWriterMethods[fn.Name()] {
+			return namedTypeName(sig.Recv().Type()) + "." + fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+// reportUnsortedAppend flags `dst = append(dst, ...)` inside a map range
+// when dst is declared outside the loop and never sorted in the function.
+func reportUnsortedAppend(p *Pass, as *ast.AssignStmt, rng *ast.RangeStmt, sorted map[types.Object]bool) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return
+	}
+	if b, ok := p.Pkg.Info.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return
+	}
+	dst, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := p.Pkg.Info.Uses[dst]
+	if obj == nil {
+		obj = p.Pkg.Info.Defs[dst]
+	}
+	if obj == nil || sorted[obj] {
+		return
+	}
+	// Only slices accumulated across iterations matter: a destination
+	// declared inside the loop body is per-iteration scratch.
+	if obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End() {
+		return
+	}
+	p.Reportf(as.Pos(), "append to %s in map-iteration order is nondeterministic; sort the keys first or sort %s afterwards", dst.Name, dst.Name)
+}
+
+// sortedObjects collects every object passed to a sorting call within
+// fn: anything in the sort or slices packages, plus local helpers whose
+// name starts with "sort" (the repo's sortInt32-style wrappers).
+func sortedObjects(info *types.Info, fn *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeObj(info, call)
+		fnObj, ok := obj.(*types.Func)
+		if !ok || fnObj.Pkg() == nil {
+			return true
+		}
+		path := fnObj.Pkg().Path()
+		if path != "sort" && path != "slices" &&
+			!strings.HasPrefix(strings.ToLower(fnObj.Name()), "sort") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				if o := info.Uses[id]; o != nil {
+					out[o] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

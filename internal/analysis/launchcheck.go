@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LaunchCheck enforces the fault-handling contract around kernel
+// launches:
+//
+//   - the *fault.Event second return of Machine.LaunchKernelChecked may
+//     never be discarded — an unobserved fault event means an injected
+//     failure silently vanished instead of being retried, killed, or
+//     routed to a corruptor;
+//   - a package that participates in fault injection (it calls
+//     SetFaultInjector or LaunchKernelChecked, or wires a
+//     fault.Corruptor) may not issue a bare accelerator LaunchKernel,
+//     which bypasses the injector entirely. Host-targeted launches are
+//     exempt: the injector only perturbs the accelerator.
+var LaunchCheck = &Analyzer{
+	Name: "launchcheck",
+	Doc:  "forbids discarding LaunchKernelChecked fault events and bare accelerator launches in fault-participating packages",
+	Run:  runLaunchCheck,
+}
+
+func runLaunchCheck(p *Pass) {
+	info := p.Pkg.Info
+	participating := packageParticipates(p.Pkg)
+	for _, f := range p.Pkg.Files {
+		parents := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObj(info, call)
+			if isMethodOn(obj, "Machine", "LaunchKernelChecked") {
+				checkEventUse(p, parents, call)
+			}
+			if participating && isMethodOn(obj, "Machine", "LaunchKernel") {
+				checkBareLaunch(p, call)
+			}
+			return true
+		})
+	}
+}
+
+// packageParticipates reports whether the package opts into fault
+// injection anywhere: once it does, every accelerator launch in it must
+// go through the checked path.
+func packageParticipates(pkg *Package) bool {
+	info := pkg.Info
+	for _, f := range pkg.Files {
+		found := false
+		ast.Inspect(f, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				obj := calleeObj(info, n)
+				if isMethodOn(obj, "Machine", "SetFaultInjector", "LaunchKernelChecked") {
+					found = true
+				}
+			case *ast.Ident:
+				if tn, ok := info.Uses[n].(*types.TypeName); ok &&
+					tn.Name() == "Corruptor" && tn.Pkg() != nil && tn.Pkg().Name() == "fault" {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// checkEventUse flags LaunchKernelChecked calls whose fault.Event result
+// is discarded: as a bare expression statement, or assigned to blank.
+func checkEventUse(p *Pass, parents map[ast.Node]ast.Node, call *ast.CallExpr) {
+	switch parent := parents[call].(type) {
+	case *ast.ExprStmt:
+		p.Reportf(call.Pos(), "LaunchKernelChecked result discarded; the *fault.Event must be handled (retry, watchdog, fallback, or corruptor)")
+	case *ast.AssignStmt:
+		if len(parent.Rhs) != 1 || parent.Rhs[0] != ast.Expr(call) || len(parent.Lhs) != 2 {
+			return
+		}
+		if id, ok := parent.Lhs[1].(*ast.Ident); ok && id.Name == "_" {
+			p.Reportf(call.Pos(), "fault.Event from LaunchKernelChecked assigned to _; an injected fault would vanish unhandled")
+		}
+	}
+}
+
+// checkBareLaunch flags LaunchKernel calls in a participating package
+// unless the target is provably the host (constant OnHost, value 0).
+func checkBareLaunch(p *Pass, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	if tv, ok := p.Pkg.Info.Types[call.Args[0]]; ok && tv.Value != nil {
+		if tv.Value.ExactString() == "0" { // Target is an iota enum; OnHost == 0
+			return
+		}
+	}
+	p.Reportf(call.Pos(), "bare LaunchKernel in a fault-participating package bypasses the injector; use LaunchKernelChecked for accelerator launches")
+}

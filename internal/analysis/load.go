@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: the unit every analyzer
+// runs over. Test files (_test.go) are excluded — the invariants hetlint
+// enforces protect result-producing production paths, and tests exercise
+// those invariants deliberately, including by violating them.
+type Package struct {
+	Dir   string // absolute directory
+	Path  string // import path ("hetbench/internal/sim")
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages using only the standard library:
+// go/parser for syntax and go/types for checking, so hetlint adds no
+// dependency to go.mod. Imports inside the module (including testdata
+// fixture stubs, which `go build` never sees) are resolved by the loader
+// itself from the module root; everything else falls back to the source
+// importer, which reads the standard library from GOROOT/src.
+type Loader struct {
+	fset    *token.FileSet
+	modRoot string
+	modPath string
+	std     types.Importer
+	cache   map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a loader rooted at the module enclosing dir. Packages
+// are cached across Load/LoadDir calls, so loading the whole module
+// type-checks each package once.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modRoot, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:    fset,
+		modRoot: modRoot,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		cache:   make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// Fset returns the loader's file set (shared by all loaded packages).
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Import resolves one import path for the type checker: module-internal
+// paths load (recursively) through the loader, the rest through the
+// source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+		pkg, err := l.LoadDir(filepath.Join(l.modRoot, filepath.FromSlash(rel)), path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// LoadDir parses and type-checks the non-test Go files of one directory
+// as the package with the given import path.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := l.cache[importPath]; ok {
+		return pkg, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	names, err := goFilesIn(abs)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(abs, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
+	}
+	loaded := &Package{Dir: abs, Path: importPath, Fset: l.fset, Files: files, Pkg: pkg, Info: info}
+	l.cache[importPath] = loaded
+	return loaded, nil
+}
+
+// Load resolves go-style package patterns relative to root (the module
+// root or any directory inside it) and loads each matched package.
+// Supported patterns: "./...", "dir/...", plain directory paths, and
+// absolute directories.
+func (l *Loader) Load(root string, patterns []string) ([]*Package, error) {
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs := make(map[string]bool)
+	resolve := func(p string) string {
+		if filepath.IsAbs(p) {
+			return filepath.Clean(p)
+		}
+		return filepath.Join(absRoot, p)
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "all" || pat == "./...":
+			if err := walkPackageDirs(absRoot, dirs); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := resolve(strings.TrimSuffix(pat, "/..."))
+			if err := walkPackageDirs(base, dirs); err != nil {
+				return nil, err
+			}
+		default:
+			dirs[resolve(pat)] = true
+		}
+	}
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+
+	var pkgs []*Package
+	for _, dir := range sorted {
+		rel, err := filepath.Rel(l.modRoot, dir)
+		if err != nil {
+			return nil, err
+		}
+		importPath := l.modPath
+		if rel != "." {
+			importPath = l.modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.LoadDir(dir, importPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, path string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// walkPackageDirs records every directory under base that holds at least
+// one non-test Go file, skipping testdata, vendor and hidden trees.
+func walkPackageDirs(base string, dirs map[string]bool) error {
+	return filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		names, err := goFilesIn(path)
+		if err != nil {
+			return err
+		}
+		if len(names) > 0 {
+			dirs[path] = true
+		}
+		return nil
+	})
+}
+
+// goFilesIn lists the directory's non-test Go files in sorted order.
+func goFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,78 @@
+// Package detnondet is the fixture for hetlint's determinism analyzer:
+// wall-clock reads, global-PRNG draws, and map-iteration-ordered output.
+package detnondet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want `\[detnondet\] time.Now reads the wall clock`
+	return time.Since(start) // want `time.Since reads the wall clock`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `rand.Intn draws from the global math/rand source`
+}
+
+// seededRand is the sanctioned form: constructors are fine, and methods
+// on an owned *rand.Rand are not the global source.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func printMap(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt.Printf inside range over map writes in nondeterministic order`
+	}
+}
+
+func buildFromMap(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `Builder.WriteString inside range over map writes in nondeterministic order`
+	}
+	return b.String()
+}
+
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys in map-iteration order is nondeterministic`
+	}
+	return keys
+}
+
+// sortedKeys is the collect-then-sort idiom the append rule points at.
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// helperSortedKeys sorts through a local sort* wrapper, as the repo's
+// sortInt32-style helpers do.
+func helperSortedKeys(m map[int]bool) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortInts(keys)
+	return keys
+}
+
+func sortInts(v []int) { sort.Ints(v) }
+
+// allowedWallClock carries a suppression: no finding, and the directive
+// counts as used.
+func allowedWallClock() time.Time {
+	return time.Now() //hetlint:allow detnondet fixture exercises the suppression path
+}

@@ -1,0 +1,25 @@
+// Package fault is a testdata stub mirroring the shapes hetlint's
+// analyzers match in the real internal/fault package.
+package fault
+
+// Kind names one injected fault class.
+type Kind string
+
+// BitFlip mirrors the real silent-corruption kind.
+const BitFlip Kind = "bit-flip"
+
+// Event reports one injected fault.
+type Event struct {
+	Kind Kind
+	Op   string
+}
+
+// Injector stands in for the seeded fault injector.
+type Injector struct{}
+
+// Policy stands in for the resilience policy.
+type Policy struct{}
+
+// Corruptor stands in for the SDC corruptor runtimes wire up; its use
+// marks a package as fault-participating for launchcheck.
+type Corruptor struct{}

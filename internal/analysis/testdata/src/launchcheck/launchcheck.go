@@ -1,0 +1,46 @@
+// Package launchcheck is the fixture for hetlint's fault-handling
+// analyzer in a participating package (it calls SetFaultInjector and
+// LaunchKernelChecked).
+package launchcheck
+
+import (
+	"hetbench/internal/analysis/testdata/src/fault"
+	"hetbench/internal/analysis/testdata/src/sim"
+)
+
+func setup(m *sim.Machine) {
+	m.SetFaultInjector(&fault.Injector{}, fault.Policy{})
+}
+
+func discardedResult(m *sim.Machine) {
+	m.LaunchKernelChecked(sim.OnAccelerator, "daxpy", 1e6) // want `LaunchKernelChecked result discarded`
+}
+
+func blankEvent(m *sim.Machine) sim.Result {
+	res, _ := m.LaunchKernelChecked(sim.OnAccelerator, "daxpy", 1e6) // want `fault.Event from LaunchKernelChecked assigned to _`
+	return res
+}
+
+func handled(m *sim.Machine) sim.Result {
+	res, ev := m.LaunchKernelChecked(sim.OnAccelerator, "daxpy", 1e6)
+	if ev != nil {
+		record(ev)
+	}
+	return res
+}
+
+func record(ev *fault.Event) {}
+
+func bareAccel(m *sim.Machine) {
+	_ = m.LaunchKernel(sim.OnAccelerator, "daxpy", 1e6) // want `bare LaunchKernel in a fault-participating package bypasses the injector`
+}
+
+// hostLaunch is exempt: the injector only perturbs the accelerator.
+func hostLaunch(m *sim.Machine) sim.Result {
+	return m.LaunchKernel(sim.OnHost, "reduce", 1e5)
+}
+
+// allowedReplay carries a suppression: no finding, directive used.
+func allowedReplay(m *sim.Machine) {
+	_ = m.LaunchKernel(sim.OnAccelerator, "replay", 1e6) //hetlint:allow launchcheck fixture exercises the suppression path
+}

@@ -1,0 +1,16 @@
+// Package launchcheckcorr is the fixture for launchcheck's third
+// participation trigger: merely wiring a fault.Corruptor makes the
+// package fault-participating, so bare accelerator launches are illegal
+// even without SetFaultInjector or LaunchKernelChecked calls.
+package launchcheckcorr
+
+import (
+	"hetbench/internal/analysis/testdata/src/fault"
+	"hetbench/internal/analysis/testdata/src/sim"
+)
+
+var corr fault.Corruptor
+
+func bare(m *sim.Machine) {
+	_ = m.LaunchKernel(sim.OnAccelerator, "daxpy", 1e6) // want `bare LaunchKernel in a fault-participating package`
+}

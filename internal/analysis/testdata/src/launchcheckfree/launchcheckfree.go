@@ -1,0 +1,15 @@
+// Package launchcheckfree is the negative fixture for launchcheck: this
+// package never opts into fault injection (no SetFaultInjector, no
+// LaunchKernelChecked, no fault.Corruptor), so its bare accelerator
+// launches are fine and the analyzer must stay silent.
+package launchcheckfree
+
+import "hetbench/internal/analysis/testdata/src/sim"
+
+func bareAccel(m *sim.Machine) sim.Result {
+	return m.LaunchKernel(sim.OnAccelerator, "daxpy", 1e6)
+}
+
+func bareHost(m *sim.Machine) sim.Result {
+	return m.LaunchKernel(sim.OnHost, "reduce", 1e5)
+}

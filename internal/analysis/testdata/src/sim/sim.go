@@ -1,0 +1,53 @@
+// Package sim is a testdata stub mirroring the shapes hetlint's
+// analyzers match in the real internal/sim package: the Machine's span
+// and launch methods. Signatures are simplified — the analyzers match by
+// type and method name, not full signature.
+package sim
+
+import "hetbench/internal/analysis/testdata/src/fault"
+
+// Target selects which side of the machine runs a kernel.
+type Target int
+
+// Targets, mirroring the real iota order (OnHost must be 0).
+const (
+	OnHost Target = iota
+	OnAccelerator
+)
+
+// Result stands in for the timing breakdown of one launch.
+type Result struct {
+	TimeNs float64
+}
+
+// ActiveSpan is an open hierarchical span.
+type ActiveSpan struct{}
+
+// End closes the span.
+func (ActiveSpan) End() {}
+
+// Machine is the simulated platform stub.
+type Machine struct{}
+
+// StartSpan opens a phase span.
+func (m *Machine) StartSpan(name string) ActiveSpan { return ActiveSpan{} }
+
+// StartRun opens the app-run span.
+func (m *Machine) StartRun(name string) ActiveSpan { return ActiveSpan{} }
+
+// StartIteration opens one timestep span.
+func (m *Machine) StartIteration(i int) ActiveSpan { return ActiveSpan{} }
+
+// LaunchKernel is the bare (injector-blind) launch path.
+func (m *Machine) LaunchKernel(t Target, name string, cost float64) Result {
+	return Result{TimeNs: cost}
+}
+
+// LaunchKernelChecked is the fault-aware launch path.
+func (m *Machine) LaunchKernelChecked(t Target, name string, cost float64) (Result, *fault.Event) {
+	return Result{TimeNs: cost}, nil
+}
+
+// SetFaultInjector marks the machine (and, for launchcheck, the calling
+// package) as fault-participating.
+func (m *Machine) SetFaultInjector(inj *fault.Injector, pol fault.Policy) {}

@@ -1,0 +1,20 @@
+// Package trace is a testdata stub mirroring the counter registry
+// hetlint's counterkey analyzer matches in the real internal/trace
+// package.
+package trace
+
+// Canonical counter-name constants, as in the real registry.
+const (
+	CtrKernelNs = "kernel.ns"
+	// CtrFaultPrefix prefixes the per-kind injected-fault counters.
+	CtrFaultPrefix = "fault."
+)
+
+// Registry is the counter registry stub.
+type Registry struct{}
+
+// Add accumulates v into the named counter.
+func (r *Registry) Add(name string, v float64) {}
+
+// SetGauge records a point-in-time value.
+func (r *Registry) SetGauge(name string, v float64) {}

@@ -73,7 +73,9 @@ func fig7Data(cx *runner.Ctx, scale Scale, app string) ([]*report.Series, error)
 		m.AcceleratorModel().SetCoreClock(core)
 		m.AcceleratorModel().SetMemClock(mem)
 		for _, lc := range log {
-			m.LaunchKernel(lc.Target, lc.Name, lc.Cost)
+			// Replay machines never carry an injector: the clock sweep
+			// re-charges recorded costs, it does not re-run the workload.
+			m.LaunchKernel(lc.Target, lc.Name, lc.Cost) //hetlint:allow launchcheck fault-free replay of a recorded cost log
 		}
 		return m.KernelNs()
 	}
