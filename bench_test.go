@@ -7,19 +7,30 @@ package hetbench_test
 // tables (use -scale paper for the paper's sizes).
 
 import (
+	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"hetbench/internal/fault"
 	"hetbench/internal/harness"
 	"hetbench/internal/harness/runner"
 	"hetbench/internal/models/modelapi"
+	"hetbench/internal/report"
 	"hetbench/internal/sched"
 	"hetbench/internal/sim"
 	"hetbench/internal/sim/timing"
 	"hetbench/internal/sloc"
 	"hetbench/internal/trace"
 )
+
+// hotCost is the kernel shape every hot-path guard launches: large
+// enough to exercise the full timing model, identical across the guards
+// so their ns/op compare.
+var hotCost = timing.KernelCost{
+	Items: 1 << 16, SPFlops: 32, LoadBytes: 24, StoreBytes: 8,
+	Instrs: 48, MissRate: 0.2, Coalesce: 0.9,
+}
 
 // BenchmarkTable1Characteristics measures the Table I workload
 // characterization (LLC miss rates from cache-simulator trace replay, IPC
@@ -162,33 +173,94 @@ func BenchmarkScalingMPIX(b *testing.B) {
 	}
 }
 
+// Leaf hot-path bodies, shared between the Benchmark* guards below and
+// the BENCH_hotpath.json writer (TestWriteBenchHotpath): each measures
+// one launch-path configuration with allocation reporting on.
+
+func benchLaunchUntraced(b *testing.B) {
+	m := sim.NewDGPU()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.LaunchKernel(sim.OnAccelerator, "bench", hotCost)
+	}
+}
+
+func benchLaunchTraced(b *testing.B) {
+	m := sim.NewDGPU()
+	m.SetTracer(trace.New())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i&8191 == 8191 {
+			// Bound span-slice growth so the benchmark measures the
+			// emission path, not an ever-growing append target.
+			b.StopTimer()
+			m.SetTracer(trace.New())
+			b.StartTimer()
+		}
+		m.LaunchKernel(sim.OnAccelerator, "bench", hotCost)
+	}
+}
+
+func benchLaunchCheckedOff(b *testing.B) {
+	m := sim.NewDGPU()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.LaunchKernelChecked(sim.OnAccelerator, "bench", hotCost)
+	}
+}
+
+func benchLaunchCheckedOn(b *testing.B) {
+	m := sim.NewDGPU()
+	m.SetFaultInjector(fault.New(fault.Config{Seed: 1, LaunchFailRate: 0.01}), fault.DefaultPolicy())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.LaunchKernelChecked(sim.OnAccelerator, "bench", hotCost)
+	}
+}
+
+func benchSplitOff(b *testing.B) {
+	m := sim.NewDGPU()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := m.LaunchKernelSplit("bench", hotCost, hotCost); !ok {
+			m.LaunchKernelChecked(sim.OnAccelerator, "bench", hotCost)
+		}
+	}
+}
+
+func benchSplitOn(b *testing.B) {
+	m := sim.NewDGPU()
+	m.SetCoexec(sched.New(sched.Config{Policy: sched.Dynamic}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.LaunchKernelSplit("bench", hotCost, hotCost)
+	}
+}
+
+func benchHistObserve(b *testing.B) {
+	reg := &trace.Registry{}
+	reg.Observe(trace.HistKernelNs, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg.Observe(trace.HistKernelNs, float64(i+1))
+	}
+}
+
 // BenchmarkFaultOverhead measures the checked kernel-launch path with
 // fault injection disabled (the default: one nil check before delegating
 // to the plain launch) against the same path with an injector attached.
 // The "off" case is the regression gate: detaching the injector must
 // restore the pre-fault-layer launch cost.
 func BenchmarkFaultOverhead(b *testing.B) {
-	cost := timing.KernelCost{
-		Items: 1 << 16, SPFlops: 32, LoadBytes: 24, StoreBytes: 8,
-		Instrs: 48, MissRate: 0.2, Coalesce: 0.9,
-	}
-	b.Run("off", func(b *testing.B) {
-		m := sim.NewDGPU()
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			m.LaunchKernelChecked(sim.OnAccelerator, "bench", cost)
-		}
-	})
-	b.Run("on", func(b *testing.B) {
-		m := sim.NewDGPU()
-		m.SetFaultInjector(fault.New(fault.Config{Seed: 1, LaunchFailRate: 0.01}), fault.DefaultPolicy())
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			m.LaunchKernelChecked(sim.OnAccelerator, "bench", cost)
-		}
-	})
+	b.Run("off", benchLaunchCheckedOff)
+	b.Run("on", benchLaunchCheckedOn)
 }
 
 // BenchmarkSchedulerOverhead measures the split-launch path with no
@@ -198,64 +270,92 @@ func BenchmarkFaultOverhead(b *testing.B) {
 // scheduler splitting every launch. The "off" case is the regression gate:
 // an unattached scheduler must cost nothing beyond the nil check.
 func BenchmarkSchedulerOverhead(b *testing.B) {
-	cost := timing.KernelCost{
-		Items: 1 << 16, SPFlops: 32, LoadBytes: 24, StoreBytes: 8,
-		Instrs: 48, MissRate: 0.2, Coalesce: 0.9,
-	}
-	b.Run("off", func(b *testing.B) {
-		m := sim.NewDGPU()
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if _, ok := m.LaunchKernelSplit("bench", cost, cost); !ok {
-				m.LaunchKernelChecked(sim.OnAccelerator, "bench", cost)
-			}
-		}
-	})
-	b.Run("on", func(b *testing.B) {
-		m := sim.NewDGPU()
-		m.SetCoexec(sched.New(sched.Config{Policy: sched.Dynamic}))
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			m.LaunchKernelSplit("bench", cost, cost)
-		}
-	})
+	b.Run("off", benchSplitOff)
+	b.Run("on", benchSplitOn)
 }
 
 // BenchmarkTraceOverhead measures the kernel-launch path with tracing
 // disabled (the default: one nil check under the already-held machine
-// mutex) against the same path with a tracer attached. The "off" case is
+// mutex) against the same path with a tracer attached — which now also
+// feeds the hist.kernel.ns histogram on every launch. The "off" case is
 // the regression gate: it must match the pre-trace-layer launch cost.
 func BenchmarkTraceOverhead(b *testing.B) {
-	cost := timing.KernelCost{
-		Items: 1 << 16, SPFlops: 32, LoadBytes: 24, StoreBytes: 8,
-		Instrs: 48, MissRate: 0.2, Coalesce: 0.9,
+	b.Run("off", benchLaunchUntraced)
+	b.Run("on", benchLaunchTraced)
+}
+
+// BenchmarkHistObserve measures the steady-state histogram observation
+// path (bucket index + counter bump under the registry lock), the cost
+// every traced launch now pays per distribution sample.
+func BenchmarkHistObserve(b *testing.B) {
+	b.Run("observe", benchHistObserve)
+}
+
+// TestLaunchHotPathAllocs is the allocation gate on the histograms-off
+// hot path: with no tracer attached, a kernel launch must not allocate —
+// the histogram layer may only spend memory when a tracer is installed.
+func TestLaunchHotPathAllocs(t *testing.T) {
+	m := sim.NewDGPU()
+	m.LaunchKernel(sim.OnAccelerator, "warmup", hotCost)
+	if avg := testing.AllocsPerRun(200, func() {
+		m.LaunchKernel(sim.OnAccelerator, "bench", hotCost)
+	}); avg != 0 {
+		t.Errorf("untraced LaunchKernel allocates %.1f/op, want 0", avg)
 	}
-	b.Run("off", func(b *testing.B) {
-		m := sim.NewDGPU()
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			m.LaunchKernel(sim.OnAccelerator, "bench", cost)
+	if avg := testing.AllocsPerRun(200, func() {
+		m.LaunchKernelChecked(sim.OnAccelerator, "bench", hotCost)
+	}); avg != 0 {
+		t.Errorf("untraced LaunchKernelChecked allocates %.1f/op, want 0", avg)
+	}
+}
+
+// TestWriteBenchHotpath regenerates BENCH_hotpath.json. It is gated
+// behind the HETBENCH_BENCH_OUT environment variable (the file path to
+// write) because it runs real benchmarks: CI and `make`-style local
+// regeneration set it; plain `go test ./...` skips.
+func TestWriteBenchHotpath(t *testing.T) {
+	out := os.Getenv("HETBENCH_BENCH_OUT")
+	if out == "" {
+		t.Skip("set HETBENCH_BENCH_OUT=<path> to regenerate BENCH_hotpath.json")
+	}
+	commit := os.Getenv("HETBENCH_COMMIT")
+	if commit == "" {
+		commit = os.Getenv("GITHUB_SHA")
+	}
+	f := &report.BenchFile{
+		Suite:  "hotpath",
+		Commit: commit,
+		Date:   time.Now().UTC().Format(time.RFC3339), //hetlint:allow detnondet BENCH metadata timestamps the snapshot, never experiment output
+		Go:     runtime.Version(),
+	}
+	leaves := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"launch/untraced", benchLaunchUntraced},
+		{"launch/traced", benchLaunchTraced},
+		{"launch/checked-off", benchLaunchCheckedOff},
+		{"launch/checked-on", benchLaunchCheckedOn},
+		{"split/off", benchSplitOff},
+		{"split/on", benchSplitOn},
+		{"hist/observe", benchHistObserve},
+	}
+	for _, leaf := range leaves {
+		r := testing.Benchmark(leaf.fn)
+		if r.N == 0 {
+			t.Fatalf("%s did not run", leaf.name)
 		}
-	})
-	b.Run("on", func(b *testing.B) {
-		m := sim.NewDGPU()
-		m.SetTracer(trace.New())
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if i&8191 == 8191 {
-				// Bound span-slice growth so the benchmark measures the
-				// emission path, not an ever-growing append target.
-				b.StopTimer()
-				m.SetTracer(trace.New())
-				b.StartTimer()
-			}
-			m.LaunchKernel(sim.OnAccelerator, "bench", cost)
-		}
-	})
+		f.Entries = append(f.Entries, report.BenchEntry{
+			Name:        leaf.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: float64(r.AllocsPerOp()),
+			Count:       int64(r.N),
+		})
+	}
+	if err := report.WriteBenchFile(out, f); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d entries)", out, len(f.Entries))
 }
 
 // BenchmarkRunnerSpeedup measures the experiment runner's worker-pool win

@@ -10,14 +10,22 @@
 //	hetbench -exp faults -seed 7           # seeded fault-injection sweep
 //	hetbench -exp coexec -seed 1           # CPU+accelerator co-execution sweep
 //	hetbench -exp fig8 -jobs 8 -v          # parallel cells + runner stats
+//	hetbench -exp all -progress            # live one-line progress on stderr
+//	hetbench -exp fig9 -metrics m.csv      # counters + histogram quantiles as CSV
+//	hetbench -exp perfbaseline -bench-out BENCH_runner.json
+//	hetbench -bench-delta old.json,new.json -bench-threshold 0.2
 //
 // Experiment ids: table1 table2 table3 table4 fig7 fig8 fig9 fig10 fig11
 // hc tiles dataregion gridtype scaling profile roofline energy trace
-// faults coexec, or "all". "-exp list" is an alias for -list.
+// faults coexec perfbaseline, or "all". "-exp list" is an alias for
+// -list.
 //
 // Experiments run their independent cells on a bounded worker pool
 // (-jobs, default GOMAXPROCS) and merge results in deterministic cell
 // order: the output is byte-identical at any -jobs under the same -seed.
+// Progress output (-progress, -progress-log) and BENCH snapshots
+// (-bench-out) carry wall-clock durations and go to stderr or dedicated
+// files, so stdout keeps that guarantee.
 package main
 
 import (
@@ -25,9 +33,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"strings"
+	"time"
 
 	"hetbench/internal/harness"
 	"hetbench/internal/harness/runner"
+	"hetbench/internal/report"
 	"hetbench/internal/trace"
 )
 
@@ -47,8 +59,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jobsFlag := fs.Int("jobs", 0, "experiment cells run concurrently (0 = GOMAXPROCS); output is identical at any -jobs")
 	verbose := fs.Bool("v", false, "print runner statistics (cells, wall vs serial-estimate time) to stderr")
 	list := fs.Bool("list", false, "list experiments and exit")
+	progress := fs.Bool("progress", false, "render live cell progress (done/running/failed, cell quantiles, ETA) as one stderr line")
+	progressLog := fs.String("progress-log", "", "append progress events as JSON lines to this file")
+	metricsOut := fs.String("metrics", "", "write the run's counters and histogram quantiles as CSV to this file")
+	benchOut := fs.String("bench-out", "", "write the runner's wall-clock stats as a BENCH_*.json snapshot to this file")
+	benchDelta := fs.String("bench-delta", "", "compare two BENCH_*.json snapshots (OLD,NEW) and exit; nonzero on regression")
+	benchThreshold := fs.Float64("bench-threshold", 0.2, "tolerated fractional ns/op growth for -bench-delta (0 disables the time gate)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *benchDelta != "" {
+		return runBenchDelta(*benchDelta, *benchThreshold, stdout, stderr)
 	}
 	if fs.NArg() > 0 {
 		fmt.Fprintf(stderr, "unexpected arguments %q; hetbench takes flags only\n", fs.Args())
@@ -89,14 +110,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 	runner.SetJobs(*jobsFlag) // 0 restores the default (HETBENCH_JOBS or GOMAXPROCS)
 	runner.ResetStats()
 
-	// With -trace, every cell records into a private tracer that folds
-	// into this capture in deterministic cell order; the combined span set
-	// is written on exit and is identical at any -jobs.
+	// With -trace or -metrics, every cell records into a private tracer
+	// that folds into this capture in deterministic cell order; the
+	// combined span set (and merged counter/histogram registry) is
+	// written on exit and is identical at any -jobs.
 	var tracer *trace.Tracer
-	if *traceOut != "" {
+	if *traceOut != "" || *metricsOut != "" {
 		tracer = trace.New()
 		runner.SetCapture(tracer)
 		defer runner.SetCapture(nil)
+	}
+
+	// Progress sinks watch the pool live; they carry wall-clock numbers
+	// and write to stderr or a dedicated log, never stdout.
+	var sinks runner.MultiSink
+	if *progress {
+		sinks = append(sinks, &runner.TTYSink{W: stderr})
+	}
+	var progressFile *os.File
+	if *progressLog != "" {
+		f, err := os.Create(*progressLog)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		progressFile = f
+		defer progressFile.Close()
+		sinks = append(sinks, &runner.JSONLSink{W: f})
+	}
+	if len(sinks) > 0 {
+		runner.SetProgress(sinks)
+		defer runner.SetProgress(nil)
 	}
 
 	if *exp == "all" {
@@ -119,7 +163,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, runner.TotalStats())
 	}
 
-	if tracer != nil {
+	if tracer != nil && *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
@@ -136,6 +180,103 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "wrote %s (%d spans, %d machines) — open at https://ui.perfetto.dev\n",
 			*traceOut, tracer.Len(), len(tracer.Processes()))
+	}
+	if tracer != nil && *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := trace.WriteMetricsCSV(f, tracer); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d counters, %d histograms)\n",
+			*metricsOut, len(tracer.Metrics().Names()), len(tracer.Metrics().HistNames()))
+	}
+	if *benchOut != "" {
+		if err := writeRunnerBench(*benchOut); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "wrote %s (runner suite)\n", *benchOut)
+	}
+	return 0
+}
+
+// writeRunnerBench snapshots the accumulated runner stats as the
+// "runner" BENCH suite. Commit metadata comes from HETBENCH_COMMIT (CI
+// passes GITHUB_SHA); the numbers are wall-clock, so the snapshot is a
+// trajectory point, not a deterministic artifact.
+func writeRunnerBench(path string) error {
+	s := runner.TotalStats()
+	if s.Cells == 0 {
+		return fmt.Errorf("bench-out: no runner cells executed")
+	}
+	commit := os.Getenv("HETBENCH_COMMIT")
+	if commit == "" {
+		commit = os.Getenv("GITHUB_SHA")
+	}
+	f := &report.BenchFile{
+		Suite:  "runner",
+		Commit: commit,
+		Date:   time.Now().UTC().Format(time.RFC3339), //hetlint:allow detnondet BENCH metadata timestamps the snapshot, never experiment output
+		Go:     runtime.Version(),
+		Jobs:   s.Jobs,
+		Entries: []report.BenchEntry{
+			{Name: "runner/wall", NsPerOp: float64(s.Wall), AllocsPerOp: -1, Count: 1},
+			{Name: "runner/serial-estimate", NsPerOp: float64(s.Serial), AllocsPerOp: -1, Count: 1},
+			{
+				Name:        "runner/cell",
+				NsPerOp:     float64(s.Serial) / float64(s.Cells),
+				AllocsPerOp: -1,
+				Count:       int64(s.Cells),
+				P50Ns:       s.CellNs.Quantile(0.50),
+				P95Ns:       s.CellNs.Quantile(0.95),
+				P99Ns:       s.CellNs.Quantile(0.99),
+				MaxNs:       s.CellNs.Max(),
+			},
+		},
+	}
+	return report.WriteBenchFile(path, f)
+}
+
+// runBenchDelta is the -bench-delta mode: compare OLD,NEW snapshots,
+// print the delta table, and return 1 when anything regressed beyond
+// the threshold.
+func runBenchDelta(spec string, threshold float64, stdout, stderr io.Writer) int {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		fmt.Fprintln(stderr, "-bench-delta wants two files: OLD,NEW")
+		return 2
+	}
+	old, err := report.ReadBenchFile(parts[0])
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	cur, err := report.ReadBenchFile(parts[1])
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if old.Suite != cur.Suite {
+		fmt.Fprintf(stderr, "suite mismatch: %s has %q, %s has %q\n", parts[0], old.Suite, parts[1], cur.Suite)
+		return 1
+	}
+	rep := report.PerfDelta(old, cur, threshold)
+	if _, err := rep.Table().WriteTo(stdout); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if regs := rep.Regressions(); len(regs) > 0 {
+		fmt.Fprintf(stderr, "perf regression in %s\n", strings.Join(regs, ", "))
+		return 1
 	}
 	return 0
 }

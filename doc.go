@@ -6,4 +6,31 @@
 // engine, the paper's five workloads, and a harness that regenerates every
 // table and figure. See DESIGN.md for the system inventory and
 // EXPERIMENTS.md for paper-versus-measured results.
+//
+// Package map:
+//
+//	internal/sim      simulated platform: devices, caches, DRAM, PCIe,
+//	                  roofline timing, NDRange executor, power model
+//	internal/models   the programming-model runtimes over one machine API
+//	internal/apps     the five workloads under every model
+//	internal/sloc     logical-SLOC counting behind Table IV / Eq. 1
+//	internal/trace    spans, counter registry, hist.* latency histograms,
+//	                  Chrome-trace and CSV exporters
+//	internal/fault    deterministic fault injector + recovery layers
+//	internal/sched    CPU+accelerator co-execution scheduler
+//	internal/harness  one Experiment per table/figure/ablation/extension
+//	internal/harness/runner
+//	                  bounded worker pool: cell-order-deterministic merge,
+//	                  Stats with per-cell quantiles, ProgressSink events
+//	internal/report   ASCII tables, series, CSV, and the hetbench-bench/v1
+//	                  BENCH_*.json schema with the PerfDelta gate
+//	internal/analysis hetlint's domain analyzers (detnondet, spanleak,
+//	                  launchcheck, counterkey)
+//	cmd/hetbench      the experiment driver (-exp, -jobs, -trace, -metrics,
+//	                  -progress, -bench-out, -bench-delta)
+//	cmd/hetlint       the static-analysis driver
+//
+// Perf baselines BENCH_hotpath.json and BENCH_runner.json live at the
+// repo root; bench_test.go regenerates the hotpath suite when
+// HETBENCH_BENCH_OUT is set.
 package hetbench

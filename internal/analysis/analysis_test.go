@@ -28,6 +28,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"launchcheckcorr", []*analysis.Analyzer{analysis.LaunchCheck}, 1},
 		{"launchcheckfree", []*analysis.Analyzer{analysis.LaunchCheck}, 0},
 		{"counterkey", []*analysis.Analyzer{analysis.CounterKey}, 6},
+		{"histkey", []*analysis.Analyzer{analysis.CounterKey}, 6},
 	}
 	for _, tc := range tests {
 		t.Run(tc.fixture, func(t *testing.T) {

@@ -1,0 +1,33 @@
+// Package histkey is the fixture for hetlint's histogram-naming rule:
+// names passed to Registry.Observe must be lowercase dotted constants in
+// the "hist." namespace; the one dynamic form is a constant "hist."
+// prefix plus a suffix.
+package histkey
+
+import (
+	"fmt"
+
+	"hetbench/internal/analysis/testdata/src/trace"
+)
+
+const histChunkNs = "hist.sched.chunk.ns"
+
+func good(r *trace.Registry, app string) {
+	r.Observe(trace.HistKernelNs, 1)
+	r.Observe(histChunkNs, 2)
+	r.Observe("hist.app."+app, 3)
+}
+
+func bad(r *trace.Registry, name string, i int) {
+	r.Observe("kernel.ns", 1)               // want `histogram name "kernel.ns" must start with "hist."`
+	r.Observe("hist.Kernel.NS", 1)          // want `histogram name "hist.Kernel.NS" is not lowercase dotted`
+	r.Observe("hist", 1)                    // want `histogram name "hist" must start with "hist."`
+	r.Observe(fmt.Sprintf("hist.%d", i), 1) // want `histogram name built with fmt.Sprintf on the hot path`
+	r.Observe(name, 1)                      // want `histogram name is not a string constant`
+	r.Observe("sched."+name, 1)             // want `histogram prefix "sched." must start with "hist."`
+}
+
+// allowedLegacy carries a suppression: no finding, directive used.
+func allowedLegacy(r *trace.Registry) {
+	r.Observe("latency_us", 1) //hetlint:allow counterkey fixture exercises the suppression path
+}

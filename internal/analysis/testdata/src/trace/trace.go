@@ -18,3 +18,9 @@ func (r *Registry) Add(name string, v float64) {}
 
 // SetGauge records a point-in-time value.
 func (r *Registry) SetGauge(name string, v float64) {}
+
+// HistKernelNs is a histogram-name constant, as in the real registry.
+const HistKernelNs = "hist.kernel.ns"
+
+// Observe adds one value to the named histogram.
+func (r *Registry) Observe(name string, v float64) {}

@@ -269,6 +269,8 @@ func Registry() map[string]Experiment {
 			"LULESH under each GPU model on the dGPU across a seeded fault-rate sweep: completed-run rate, recovery overhead, retries, watchdog kills and host fallbacks per model", RunFaults},
 		{"coexec", "Extension: CPU+accelerator co-execution",
 			"readmem, LULESH and miniFE split across host CPU and accelerator on both machines under static, dynamic and HGuided partitioning, vs the accelerator alone", RunCoexec},
+		{"perfbaseline", "Extension: perf baseline and latency distributions",
+			"per-app kernel/transfer latency quantiles plus fault-recovery and chunk-service distributions; the runner workout behind BENCH_runner.json (-bench-out)", RunPerfBaseline},
 	}
 	m := make(map[string]Experiment, len(exps))
 	for _, e := range exps {
@@ -289,7 +291,7 @@ func IDs() []string {
 
 // RunAll executes every experiment in order.
 func RunAll(scale Scale, w io.Writer) error {
-	order := []string{"table1", "table2", "table3", "table4", "fig7", "fig8", "fig9", "fig10", "fig11", "hc", "tiles", "dataregion", "gridtype", "scaling", "profile", "roofline", "energy", "trace", "faults", "coexec"}
+	order := []string{"table1", "table2", "table3", "table4", "fig7", "fig8", "fig9", "fig10", "fig11", "hc", "tiles", "dataregion", "gridtype", "scaling", "profile", "roofline", "energy", "trace", "faults", "coexec", "perfbaseline"}
 	reg := Registry()
 	for _, id := range order {
 		e := reg[id]

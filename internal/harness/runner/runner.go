@@ -129,6 +129,11 @@ type Stats struct {
 	// times — the serial-run estimate the speedup compares against.
 	Wall   time.Duration
 	Serial time.Duration
+	// CellNs is the distribution of per-cell wall times. It is observed
+	// directly (never through a trace.Registry), because wall-clock
+	// samples must stay out of the deterministic capture path; like Wall
+	// and Serial it only ever reaches stderr reports and BENCH files.
+	CellNs trace.Histogram
 }
 
 // Speedup is the serial-estimate-over-wall ratio.
@@ -139,13 +144,24 @@ func (s Stats) Speedup() float64 {
 	return float64(s.Serial) / float64(s.Wall)
 }
 
+// CellQuantile returns the q-quantile of the per-cell wall-time
+// distribution.
+func (s *Stats) CellQuantile(q float64) time.Duration {
+	return time.Duration(s.CellNs.Quantile(q))
+}
+
 // String renders the stats as the one-line -v report.
 func (s Stats) String() string {
 	if s.Cells == 0 {
 		return "runner: 0 cells"
 	}
-	return fmt.Sprintf("runner: %d cells on %d workers: wall %.1fms, serial estimate %.1fms, speedup %.2fx",
+	line := fmt.Sprintf("runner: %d cells on %d workers: wall %.1fms, serial estimate %.1fms, speedup %.2fx",
 		s.Cells, s.Jobs, float64(s.Wall)/1e6, float64(s.Serial)/1e6, s.Speedup())
+	if s.CellNs.Count() > 0 {
+		line += fmt.Sprintf(", cell p50 %.1fms p99 %.1fms",
+			float64(s.CellQuantile(0.50))/1e6, float64(s.CellQuantile(0.99))/1e6)
+	}
+	return line
 }
 
 func addTotal(s Stats) {
@@ -157,6 +173,7 @@ func addTotal(s Stats) {
 	if s.Jobs > total.Jobs {
 		total.Jobs = s.Jobs
 	}
+	total.CellNs.Merge(&s.CellNs)
 }
 
 // TotalStats returns stats accumulated over every Run since ResetStats;
@@ -183,12 +200,14 @@ func ResetStats() {
 func Run(w io.Writer, cells []Cell) (Stats, error) {
 	nJobs := Jobs()
 	capTracer := Capture()
+	prog := newProgTracker(Progress(), len(cells), nJobs)
 	ctxs := make([]*Ctx, len(cells))
 	errs := make([]error, len(cells))
 	durs := make([]time.Duration, len(cells))
 	// The pool's wall-clock stats feed the -v speedup report only; every
 	// experiment result stays a function of the seed and virtual clocks.
 	start := time.Now() //hetlint:allow detnondet pool wall-clock stats are reported, never part of results
+	prog.runStart()
 	sem := make(chan struct{}, nJobs)
 	var wg sync.WaitGroup
 	for i := range cells {
@@ -202,15 +221,19 @@ func Run(w io.Writer, cells []Cell) (Stats, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			prog.cellStart(i, cells[i].Label)
 			t0 := time.Now() //hetlint:allow detnondet per-cell wall time feeds the serial-estimate stat only
 			errs[i] = cells[i].Run(cx)
 			durs[i] = time.Since(t0) //hetlint:allow detnondet per-cell wall time feeds the serial-estimate stat only
+			prog.cellDone(i, cells[i].Label, durs[i], errs[i])
 		}(i, cx)
 	}
 	wg.Wait()
+	prog.runDone()
 	stats := Stats{Cells: len(cells), Jobs: nJobs, Wall: time.Since(start)} //hetlint:allow detnondet pool wall-clock stats are reported, never part of results
 	for _, d := range durs {
 		stats.Serial += d
+		stats.CellNs.Observe(float64(d))
 	}
 	addTotal(stats)
 

@@ -131,7 +131,19 @@ func TestMapOrdersResults(t *testing.T) {
 // per-cell tracers that fold into the capture in cell order — so the
 // merged span set is identical at any worker count.
 func TestCaptureFoldsDeterministically(t *testing.T) {
-	render := func(jobs int) ([]trace.Span, []string, map[string]float64) {
+	// histSummary renders the merged histograms bit-for-bit (quantiles,
+	// sums, counts) so any worker-count-dependent fold order shows up.
+	histSummary := func(reg *trace.Registry) string {
+		var b strings.Builder
+		for _, name := range reg.HistNames() {
+			h := reg.Hist(name)
+			fmt.Fprintf(&b, "%s: n=%d sum=%b min=%b max=%b q50=%b q95=%b q99=%b\n",
+				name, h.Count(), h.Sum(), h.Min(), h.Max(),
+				h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+		}
+		return b.String()
+	}
+	render := func(jobs int) ([]trace.Span, []string, map[string]float64, string) {
 		withJobs(t, jobs)
 		cap := trace.New()
 		SetCapture(cap)
@@ -148,10 +160,10 @@ func TestCaptureFoldsDeterministically(t *testing.T) {
 		if _, err := Run(nil, cells); err != nil {
 			t.Fatal(err)
 		}
-		return cap.Spans(), cap.Processes(), cap.Metrics().Snapshot()
+		return cap.Spans(), cap.Processes(), cap.Metrics().Snapshot(), histSummary(cap.Metrics())
 	}
-	spans1, procs1, ctrs1 := render(1)
-	spans8, procs8, ctrs8 := render(8)
+	spans1, procs1, ctrs1, hists1 := render(1)
+	spans8, procs8, ctrs8, hists8 := render(8)
 	if len(spans1) != len(spans8) {
 		t.Fatalf("span count differs: %d serial vs %d parallel", len(spans1), len(spans8))
 	}
@@ -165,6 +177,9 @@ func TestCaptureFoldsDeterministically(t *testing.T) {
 	}
 	if len(ctrs1) == 0 || fmt.Sprint(ctrs1) != fmt.Sprint(ctrs8) {
 		t.Errorf("counter registries differ: %v vs %v", ctrs1, ctrs8)
+	}
+	if hists1 == "" || hists1 != hists8 {
+		t.Errorf("merged histograms differ across worker counts:\nserial:\n%sparallel:\n%s", hists1, hists8)
 	}
 }
 

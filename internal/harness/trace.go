@@ -133,6 +133,9 @@ func RunTrace(scale Scale, w io.Writer) error {
 			if err := counterTable(out, fmt.Sprintf("%s — run counters", mt.Model), mt.Tracer.Metrics()); err != nil {
 				return err
 			}
+			if err := histTable(out, fmt.Sprintf("%s — latency distributions", mt.Model), mt.Tracer.Metrics()); err != nil {
+				return err
+			}
 			fmt.Fprintln(out)
 			return nil
 		}}
@@ -182,6 +185,62 @@ var counterRows = []struct{ name, label, unit string }{
 	{trace.CtrFallbacks, "host fallbacks", ""},
 	{trace.CtrRetransmits, "retransmits", ""},
 	{trace.CtrSDCRedos, "SDC redos", ""},
+}
+
+// histLabels maps the registry's histogram names to table labels, in
+// presentation order. Unknown names render under their raw name after
+// these.
+var histLabels = []struct{ name, label string }{
+	{trace.HistKernelNs, "kernel latency"},
+	{trace.HistTransferNs, "transfer latency"},
+	{trace.HistChunkNs, "chunk service time"},
+	{trace.HistFaultNs, "fault recovery"},
+}
+
+// histTable renders the registry's latency histograms as quantile rows.
+// The quantiles are pure functions of merged bucket counts over
+// virtual-clock durations, so the table is deterministic at any worker
+// count.
+func histTable(w io.Writer, title string, reg *trace.Registry) error {
+	names := reg.HistNames()
+	if len(names) == 0 {
+		return nil
+	}
+	label := make(map[string]string, len(histLabels))
+	order := make(map[string]int, len(histLabels))
+	for i, h := range histLabels {
+		label[h.name] = h.label
+		order[h.name] = i
+	}
+	sort.SliceStable(names, func(i, j int) bool {
+		oi, iok := order[names[i]]
+		oj, jok := order[names[j]]
+		if iok && jok {
+			return oi < oj
+		}
+		if iok != jok {
+			return iok
+		}
+		return names[i] < names[j]
+	})
+	t := report.NewTable(title, "Distribution", "Count", "p50 ms", "p95 ms", "p99 ms", "Max ms")
+	for _, name := range names {
+		h := reg.Hist(name)
+		if h == nil || h.Count() == 0 {
+			continue
+		}
+		lbl := label[name]
+		if lbl == "" {
+			lbl = name
+		}
+		t.AddRowf(lbl, h.Count(),
+			fmt.Sprintf("%.3f", h.Quantile(0.50)/1e6),
+			fmt.Sprintf("%.3f", h.Quantile(0.95)/1e6),
+			fmt.Sprintf("%.3f", h.Quantile(0.99)/1e6),
+			fmt.Sprintf("%.3f", h.Max()/1e6))
+	}
+	_, err := t.WriteTo(w)
+	return err
 }
 
 func counterTable(w io.Writer, title string, reg *trace.Registry) error {

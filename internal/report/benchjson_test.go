@@ -1,0 +1,137 @@
+package report
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleBench(suite string, ns, allocs float64) *BenchFile {
+	return &BenchFile{
+		Suite:  suite,
+		Commit: "abc123",
+		Go:     "go1.24.0",
+		Entries: []BenchEntry{
+			{Name: "launch/untraced", NsPerOp: ns, AllocsPerOp: allocs},
+			{Name: "launch/traced", NsPerOp: ns * 2, AllocsPerOp: allocs + 2},
+		},
+	}
+}
+
+func TestBenchRoundTrip(t *testing.T) {
+	f := sampleBench("hotpath", 100, 0)
+	// Unsorted input must serialize sorted.
+	f.Entries[0], f.Entries[1] = f.Entries[1], f.Entries[0]
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(buf.String(), "\n") {
+		t.Error("serialized BENCH file lacks a trailing newline")
+	}
+	got, err := ReadBench(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != BenchSchema || got.Suite != "hotpath" || got.Commit != "abc123" {
+		t.Errorf("round trip lost metadata: %+v", got)
+	}
+	if len(got.Entries) != 2 || got.Entries[0].Name != "launch/traced" {
+		t.Errorf("entries not sorted on write: %+v", got.Entries)
+	}
+	if e := got.Entry("launch/untraced"); e == nil || e.NsPerOp != 100 {
+		t.Errorf("Entry lookup = %+v", e)
+	}
+	if got.Entry("nope") != nil {
+		t.Error("Entry returned a hit for an unknown name")
+	}
+}
+
+func TestBenchFileIO(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := WriteBenchFile(path, sampleBench("runner", 50, -1)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Suite != "runner" {
+		t.Errorf("suite = %q", got.Suite)
+	}
+	if _, err := ReadBenchFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("reading a missing file did not fail")
+	}
+}
+
+func TestBenchSchemaValidation(t *testing.T) {
+	_, err := ReadBench(strings.NewReader(`{"schema":"hetbench-bench/v999","suite":"hotpath"}`))
+	if err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("wrong-schema read error = %v", err)
+	}
+	if _, err := ReadBench(strings.NewReader("not json")); err == nil {
+		t.Error("garbage input did not fail")
+	}
+}
+
+func TestPerfDeltaGates(t *testing.T) {
+	old := &BenchFile{Suite: "hotpath", Entries: []BenchEntry{
+		{Name: "steady", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "slower", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "allocs", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "removed", NsPerOp: 10, AllocsPerOp: -1},
+		{Name: "unmeasured", NsPerOp: 100, AllocsPerOp: -1},
+	}}
+	cur := &BenchFile{Suite: "hotpath", Entries: []BenchEntry{
+		{Name: "steady", NsPerOp: 110, AllocsPerOp: 0}, // +10%: under the gate
+		{Name: "slower", NsPerOp: 130, AllocsPerOp: 0}, // +30%: over the gate
+		{Name: "allocs", NsPerOp: 100, AllocsPerOp: 1}, // new allocation: gated
+		{Name: "added", NsPerOp: 5, AllocsPerOp: 0},    // new entry: reported, not gated
+		{Name: "unmeasured", NsPerOp: 90, AllocsPerOp: -1},
+	}}
+	rep := PerfDelta(old, cur, 0.2)
+	regs := rep.Regressions()
+	if len(regs) != 2 || regs[0] != "allocs" || regs[1] != "slower" {
+		t.Fatalf("Regressions() = %v, want [allocs slower]", regs)
+	}
+	byName := map[string]BenchDelta{}
+	for _, d := range rep.Deltas {
+		byName[d.Name] = d
+	}
+	if d := byName["slower"]; !d.TimeRegressed || d.AllocsRegressed {
+		t.Errorf("slower = %+v, want time-only regression", d)
+	}
+	if d := byName["allocs"]; d.TimeRegressed || !d.AllocsRegressed {
+		t.Errorf("allocs = %+v, want allocs-only regression", d)
+	}
+	if d := byName["steady"]; d.Regressed() {
+		t.Errorf("steady regressed at +10%% under a 20%% gate: %+v", d)
+	}
+	if d := byName["added"]; !d.OnlyNew || d.Regressed() {
+		t.Errorf("added = %+v, want only-new, not regressed", d)
+	}
+	if d := byName["removed"]; !d.OnlyOld {
+		t.Errorf("removed = %+v, want only-old", d)
+	}
+	// AllocsPerOp -1 marks "not measured": never an allocs regression.
+	if d := byName["unmeasured"]; d.Regressed() {
+		t.Errorf("unmeasured allocs flagged: %+v", d)
+	}
+
+	// Report-only mode: the same +30% passes.
+	if regs := PerfDelta(old, cur, 0).Regressions(); len(regs) != 1 || regs[0] != "allocs" {
+		t.Errorf("threshold 0 Regressions() = %v, want allocs only (time gate off)", regs)
+	}
+
+	var buf bytes.Buffer
+	if _, err := rep.Table().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"REGRESSED", "new entry", "removed", "+30.0%", `suite "hotpath"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("delta table missing %q:\n%s", want, out)
+		}
+	}
+}

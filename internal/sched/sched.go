@@ -203,12 +203,16 @@ func (s *Scheduler) LaunchSplit(m *sim.Machine, l sim.CoexecLaunch) timing.Resul
 	st.Splits = 1
 	bound := map[string]float64{}
 	var dram float64
+	tracer := m.Tracer()
 	run := func(c chunk) {
 		cost := chunkCost(l.Accel, c.n)
 		if c.t == sim.OnHost {
 			cost = chunkCost(l.Host, c.n)
 		}
 		r := q.RunChunk(c.t, l.Name, cost)
+		if tracer != nil {
+			tracer.Metrics().Observe(trace.HistChunkNs, r.TimeNs)
+		}
 		st.Chunks++
 		dram += r.DRAMBytes
 		bound[r.Bound] += r.TimeNs
@@ -248,7 +252,7 @@ func (s *Scheduler) LaunchSplit(m *sim.Machine, l sim.CoexecLaunch) timing.Resul
 	s.stats.AccelNs += st.AccelNs
 	s.mu.Unlock()
 
-	if t := m.Tracer(); t != nil {
+	if t := tracer; t != nil {
 		reg := t.Metrics()
 		reg.Add(trace.CtrSchedChunks, float64(st.Chunks))
 		reg.Add(trace.CtrSchedHostItems, float64(st.HostItems))

@@ -348,6 +348,7 @@ func (m *Machine) emitKernelLocked(target Target, name string, cost timing.Kerne
 	reg := m.tracer.Metrics()
 	reg.Add(trace.CtrKernelLaunches, 1)
 	reg.Add(trace.CtrKernelNs, r.TimeNs)
+	reg.Observe(trace.HistKernelNs, r.TimeNs)
 	items := float64(cost.Items)
 	traffic := items * (cost.LoadBytes + cost.StoreBytes)
 	reg.Add(trace.CtrDRAMBytes, r.DRAMBytes)
@@ -376,6 +377,7 @@ func (m *Machine) emitTransferLocked(kind EventKind, name string, bytes int64, n
 	reg := m.tracer.Metrics()
 	reg.Add(trace.CtrTransferCount, 1)
 	reg.Add(trace.CtrTransferNs, ns)
+	reg.Observe(trace.HistTransferNs, ns)
 	if kind == EvDeviceToHost {
 		reg.Add(trace.CtrBytesD2H, float64(bytes))
 	} else {
@@ -487,7 +489,9 @@ func (m *Machine) chargeFaultLocked(track, name string, ns float64) {
 			Track: track, Name: name, Kind: trace.KindFault,
 			StartNs: start, DurNs: ns,
 		})
-		m.tracer.Metrics().Add(trace.CtrFaultNs, ns)
+		reg := m.tracer.Metrics()
+		reg.Add(trace.CtrFaultNs, ns)
+		reg.Observe(trace.HistFaultNs, ns)
 	}
 }
 
@@ -639,6 +643,7 @@ func (m *Machine) AddHostTime(name string, ns float64) {
 		reg := m.tracer.Metrics()
 		reg.Add(trace.CtrKernelLaunches, 1)
 		reg.Add(trace.CtrKernelNs, ns)
+		reg.Observe(trace.HistKernelNs, ns)
 	}
 	m.mu.Unlock()
 }

@@ -73,6 +73,22 @@ func WriteChrome(w io.Writer, t *Tracer) error {
 			Name: "hetbench_counters", Ph: "M", Pid: 0, Args: args,
 		})
 	}
+	if hists := t.Metrics().Histograms(); len(hists) > 0 {
+		args := make(map[string]interface{}, len(hists))
+		for name, h := range hists {
+			args[name] = map[string]interface{}{
+				"count": h.Count(),
+				"p50":   h.Quantile(0.50),
+				"p95":   h.Quantile(0.95),
+				"p99":   h.Quantile(0.99),
+				"max":   h.Max(),
+				"mean":  h.Mean(),
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "hetbench_histograms", Ph: "M", Pid: 0, Args: args,
+		})
+	}
 
 	extraTids := make(map[string]int)
 	seenTracks := make(map[[2]int]string)

@@ -34,6 +34,31 @@ func csvQuote(s string) string {
 	return s
 }
 
+// WriteMetricsCSV serializes the tracer's counter registry as CSV: one
+// row per counter (type "counter", the value column) and one per
+// histogram (type "hist", with count and the p50/p95/p99/max quantile
+// columns in ns). Rows are sorted by name within each type, so the file
+// is byte-identical for identical registries — including across -jobs
+// settings, because per-cell registries merge in deterministic cell
+// order.
+func WriteMetricsCSV(w io.Writer, t *Tracer) error {
+	reg := t.Metrics()
+	var b strings.Builder
+	b.WriteString("type,name,value,count,p50_ns,p95_ns,p99_ns,max_ns\n")
+	snap := reg.Snapshot()
+	for _, name := range reg.Names() {
+		fmt.Fprintf(&b, "counter,%s,%g,,,,,\n", csvQuote(name), snap[name])
+	}
+	for _, name := range reg.HistNames() {
+		h := reg.Hist(name)
+		fmt.Fprintf(&b, "hist,%s,,%d,%.1f,%.1f,%.1f,%.1f\n",
+			csvQuote(name), h.Count(),
+			h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
 // Agg is one name's aggregate over a span set.
 type Agg struct {
 	Name    string

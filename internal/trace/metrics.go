@@ -51,12 +51,14 @@ const (
 // CtrFaultPrefix prefixes the per-kind injected-fault counters.
 const CtrFaultPrefix = "fault."
 
-// Registry is a concurrent map of monotonically-accumulating counters and
-// last-write-wins gauges. The zero value is ready to use.
+// Registry is a concurrent map of monotonically-accumulating counters,
+// last-write-wins gauges and log-bucketed histograms. The zero value is
+// ready to use.
 type Registry struct {
 	mu     sync.Mutex
 	c      map[string]float64
 	gauges map[string]float64
+	hists  map[string]*Histogram
 }
 
 // Add accumulates v into the named counter.
@@ -93,10 +95,63 @@ func (r *Registry) Gauge(name string) float64 {
 	return r.gauges[name]
 }
 
+// Observe adds one value to the named histogram, creating it on first
+// use. Histogram names live in the "hist." namespace (see the Hist*
+// constants); hetlint's counterkey analyzer enforces the contract.
+func (r *Registry) Observe(name string, v float64) {
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		if r.hists == nil {
+			r.hists = make(map[string]*Histogram)
+		}
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	h.Observe(v)
+	r.mu.Unlock()
+}
+
+// Hist returns a copy of the named histogram, or nil if nothing was ever
+// observed under that name.
+func (r *Registry) Hist(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		return nil
+	}
+	return h.Clone()
+}
+
+// HistNames returns the histogram names in sorted order.
+func (r *Registry) HistNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.hists))
+	for k := range r.hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Histograms returns a deep copy of all histograms.
+func (r *Registry) Histograms() map[string]*Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]*Histogram, len(r.hists))
+	for k, h := range r.hists {
+		out[k] = h.Clone()
+	}
+	return out
+}
+
 // Merge folds another registry into r: counters accumulate, gauges take
-// the source's last value. Merging per-cell registries into the run-wide
-// one in a fixed cell order yields bit-identical totals at any worker
-// count, because each counter's additions happen in the same sequence.
+// the source's last value, histogram buckets add. Merging per-cell
+// registries into the run-wide one in a fixed cell order yields
+// bit-identical totals at any worker count, because each counter's
+// additions happen in the same sequence.
 func (r *Registry) Merge(src *Registry) {
 	if src == nil || src == r {
 		return
@@ -109,6 +164,10 @@ func (r *Registry) Merge(src *Registry) {
 	gauges := make(map[string]float64, len(src.gauges))
 	for k, v := range src.gauges {
 		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(src.hists))
+	for k, h := range src.hists {
+		hists[k] = h.Clone()
 	}
 	src.mu.Unlock()
 	r.mu.Lock()
@@ -123,6 +182,17 @@ func (r *Registry) Merge(src *Registry) {
 	}
 	for k, v := range gauges {
 		r.gauges[k] = v
+	}
+	if r.hists == nil && len(hists) > 0 {
+		r.hists = make(map[string]*Histogram, len(hists))
+	}
+	for k, h := range hists {
+		dst := r.hists[k]
+		if dst == nil {
+			r.hists[k] = h
+			continue
+		}
+		dst.Merge(h)
 	}
 	r.mu.Unlock()
 }
@@ -150,9 +220,9 @@ func (r *Registry) Names() []string {
 	return names
 }
 
-// Reset clears all counters and gauges.
+// Reset clears all counters, gauges and histograms.
 func (r *Registry) Reset() {
 	r.mu.Lock()
-	r.c, r.gauges = nil, nil
+	r.c, r.gauges, r.hists = nil, nil, nil
 	r.mu.Unlock()
 }
