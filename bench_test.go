@@ -7,6 +7,7 @@ package hetbench_test
 // tables (use -scale paper for the paper's sizes).
 
 import (
+	"context"
 	"os"
 	"runtime"
 	"testing"
@@ -27,6 +28,15 @@ import (
 // hotCost is the kernel shape every hot-path guard launches: large
 // enough to exercise the full timing model, identical across the guards
 // so their ns/op compare.
+// bmust unwraps a (value, error) Data-sweep pair inside a benchmark; the
+// context is never canceled, so an error is a setup failure worth a panic.
+func bmust[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 var hotCost = timing.KernelCost{
 	Items: 1 << 16, SPFlops: 32, LoadBytes: 24, StoreBytes: 8,
 	Instrs: 48, MissRate: 0.2, Coalesce: 0.9,
@@ -37,7 +47,7 @@ var hotCost = timing.KernelCost{
 // and boundedness from the timing model).
 func BenchmarkTable1Characteristics(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := harness.Table1Data(harness.ScaleSmall)
+		rows := bmust(harness.Table1Data(context.Background(), harness.ScaleSmall))
 		if i == 0 {
 			for _, r := range rows {
 				b.ReportMetric(r.MissRate, "missrate/"+r.App)
@@ -81,7 +91,7 @@ func BenchmarkFig7FrequencySweep(b *testing.B) {
 
 func benchSpeedups(b *testing.B, mk func() *sim.Machine) {
 	for i := 0; i < b.N; i++ {
-		cells := harness.SpeedupData(harness.ScaleSmall, mk)
+		cells := bmust(harness.SpeedupData(context.Background(), harness.ScaleSmall, mk))
 		if i == 0 {
 			for _, c := range cells {
 				if c.Precision == timing.Double && c.Model == modelapi.OpenCL {
@@ -103,8 +113,8 @@ func BenchmarkFig9DGPU(b *testing.B) { benchSpeedups(b, sim.NewDGPU) }
 // both machines.
 func BenchmarkFig10Productivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		apu := harness.ProductivityData(harness.ScaleSmall, sim.NewAPU)
-		dgpu := harness.ProductivityData(harness.ScaleSmall, sim.NewDGPU)
+		apu := bmust(harness.ProductivityData(context.Background(), harness.ScaleSmall, sim.NewAPU))
+		dgpu := bmust(harness.ProductivityData(context.Background(), harness.ScaleSmall, sim.NewDGPU))
 		if i == 0 {
 			_, amp, _ := harness.HarmonicMeans(apu)
 			cl, _, _ := harness.HarmonicMeans(dgpu)
@@ -118,7 +128,7 @@ func BenchmarkFig10Productivity(b *testing.B) {
 // comparison (async transfer overlap on XSBench).
 func BenchmarkAblationHC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		cells := harness.AblationHCData(harness.ScaleSmall)
+		cells := bmust(harness.AblationHCData(context.Background(), harness.ScaleSmall))
 		if i == 0 {
 			for _, c := range cells {
 				if c.Model == modelapi.HC {
@@ -132,7 +142,10 @@ func BenchmarkAblationHC(b *testing.B) {
 // BenchmarkAblationTiling regenerates the Section VI-C CoMD tiling claim.
 func BenchmarkAblationTiling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		flat, tiled := harness.AblationTilesData(harness.ScaleSmall)
+		flat, tiled, err := harness.AblationTilesData(context.Background(), harness.ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if i == 0 {
 			b.ReportMetric(flat/tiled, "tiling-speedup")
 		}
@@ -143,7 +156,7 @@ func BenchmarkAblationTiling(b *testing.B) {
 // comparison (unionized vs per-nuclide search).
 func BenchmarkAblationGridType(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		cells := harness.AblationGridTypeData(harness.ScaleSmall)
+		cells := bmust(harness.AblationGridTypeData(context.Background(), harness.ScaleSmall))
 		if i == 0 && len(cells) == 2 {
 			b.ReportMetric(cells[0].ElapsedMs/cells[1].ElapsedMs, "union/nuclide-ratio")
 		}
@@ -154,7 +167,10 @@ func BenchmarkAblationGridType(b *testing.B) {
 // ablation (miniFE OpenACC with vs without the data region).
 func BenchmarkAblationDataRegion(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		withMs, withoutMs, _, _ := harness.AblationDataRegionData(harness.ScaleSmall)
+		withMs, withoutMs, _, _, err := harness.AblationDataRegionData(context.Background(), harness.ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if i == 0 {
 			b.ReportMetric(withoutMs/withMs, "dataregion-penalty")
 		}
@@ -165,7 +181,7 @@ func BenchmarkAblationDataRegion(b *testing.B) {
 // (LULESH slabs over a simulated InfiniBand cluster).
 func BenchmarkScalingMPIX(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		results := harness.ScalingData(harness.ScaleSmall)
+		results := bmust(harness.ScalingData(context.Background(), harness.ScaleSmall))
 		if i == 0 && len(results) > 0 {
 			last := results[len(results)-1]
 			b.ReportMetric(last.Efficiency(results[0]), "efficiency-at-32")
@@ -370,7 +386,7 @@ func BenchmarkRunnerSpeedup(b *testing.B) {
 			defer runner.SetJobs(old)
 			runner.ResetStats()
 			for i := 0; i < b.N; i++ {
-				cells := harness.SpeedupData(harness.ScaleSmall, sim.NewDGPU)
+				cells := bmust(harness.SpeedupData(context.Background(), harness.ScaleSmall, sim.NewDGPU))
 				if len(cells) == 0 {
 					b.Fatal("empty sweep")
 				}

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -35,7 +36,7 @@ func main() {
 		os.Exit(2)
 	}
 	p := comd.NewProblem(comd.Config{Nx: *x, Ny: *y, Nz: *z, Iters: *iters, FunctionalIters: *fn}, prec)
-	err = harness.RunApp(os.Stdout, comd.AppName, machines,
+	err = harness.RunApp(context.Background(), os.Stdout, comd.AppName, machines,
 		func(m *sim.Machine, model modelapi.Name) appcore.Result { return p.Run(m, model) })
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

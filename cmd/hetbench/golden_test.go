@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -41,7 +42,7 @@ func TestGolden(t *testing.T) {
 			render := func(jobs string) string {
 				var stdout, stderr bytes.Buffer
 				args := []string{"-exp", id, "-scale", "smoke", "-seed", "1", "-jobs", jobs}
-				if code := run(args, &stdout, &stderr); code != 0 {
+				if code := run(context.Background(), args, &stdout, &stderr); code != 0 {
 					t.Fatalf("run(%v) = %d, stderr: %s", args, code, stderr.String())
 				}
 				return stdout.String()

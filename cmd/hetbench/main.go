@@ -29,12 +29,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"hetbench/internal/harness"
@@ -44,12 +47,16 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	// SIGINT/SIGTERM cancel the run context: in-flight cells finish, the
+	// runner skips the rest, and the progress log still flushes below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run is the testable CLI body: it parses args, executes, and returns the
 // process exit code (0 ok, 1 runtime failure, 2 usage error).
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("hetbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	exp := fs.String("exp", "all", "experiment id (see -list) or 'all'")
@@ -127,15 +134,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *progress {
 		sinks = append(sinks, &runner.TTYSink{W: stderr})
 	}
-	var progressFile *os.File
 	if *progressLog != "" {
 		f, err := os.Create(*progressLog)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		progressFile = f
-		defer progressFile.Close()
+		// Flush and close on every exit path — error and early returns
+		// included — so a killed or failed run still leaves a complete
+		// JSONL file behind. The deferred SetProgress(nil) below runs
+		// first (LIFO), so no sink writes race the close. A close failure
+		// on an otherwise-clean run flips the exit code: silently dropped
+		// progress records would defeat the log's purpose.
+		defer func() {
+			ferr := f.Sync()
+			if cerr := f.Close(); ferr == nil {
+				ferr = cerr
+			}
+			if ferr != nil {
+				fmt.Fprintf(stderr, "progress-log %s: %v\n", *progressLog, ferr)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
 		sinks = append(sinks, &runner.JSONLSink{W: f})
 	}
 	if len(sinks) > 0 {
@@ -144,7 +166,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *exp == "all" {
-		err = harness.RunAll(scale, stdout)
+		err = harness.RunAll(ctx, scale, stdout)
 	} else {
 		e, ok := reg[*exp]
 		if !ok {
@@ -152,7 +174,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		fmt.Fprintf(stdout, "=== %s — %s ===\n", e.ID, e.Title)
-		err = e.Run(scale, stdout)
+		err = e.Run(ctx, scale, stdout)
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, err)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"sort"
 	"strings"
 	"testing"
@@ -26,7 +27,7 @@ func TestRunUsageErrors(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var stdout, stderr bytes.Buffer
-			if code := run(tc.args, &stdout, &stderr); code != 2 {
+			if code := run(context.Background(), tc.args, &stdout, &stderr); code != 2 {
 				t.Fatalf("run(%v) = %d, want exit code 2", tc.args, code)
 			}
 			// The error itself is one line (flag parse errors append the
@@ -41,7 +42,7 @@ func TestRunUsageErrors(t *testing.T) {
 
 func TestRunList(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+	if code := run(context.Background(), []string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("run(-list) = %d, stderr: %s", code, stderr.String())
 	}
 	for _, id := range []string{"table1", "fig8", "faults", "coexec"} {
@@ -56,7 +57,7 @@ func TestRunList(t *testing.T) {
 func TestRunExpListSortedAndStable(t *testing.T) {
 	render := func() string {
 		var stdout, stderr bytes.Buffer
-		if code := run([]string{"-exp", "list"}, &stdout, &stderr); code != 0 {
+		if code := run(context.Background(), []string{"-exp", "list"}, &stdout, &stderr); code != 0 {
 			t.Fatalf("run(-exp list) = %d, stderr: %s", code, stderr.String())
 		}
 		return stdout.String()
@@ -90,7 +91,7 @@ func TestRunExpListSortedAndStable(t *testing.T) {
 
 func TestRunExperimentSucceeds(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-exp", "table2", "-scale", "smoke"}, &stdout, &stderr); code != 0 {
+	if code := run(context.Background(), []string{"-exp", "table2", "-scale", "smoke"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("run(table2) = %d, stderr: %s", code, stderr.String())
 	}
 	if stdout.Len() == 0 {
@@ -104,7 +105,7 @@ func TestRunFaultsSeedDeterminism(t *testing.T) {
 	render := func(seed string) string {
 		var stdout, stderr bytes.Buffer
 		args := []string{"-exp", "faults", "-scale", "smoke", "-seed", seed}
-		if code := run(args, &stdout, &stderr); code != 0 {
+		if code := run(context.Background(), args, &stdout, &stderr); code != 0 {
 			t.Fatalf("run(%v) = %d, stderr: %s", args, code, stderr.String())
 		}
 		return stdout.String()
@@ -125,7 +126,7 @@ func TestRunCoexecSeedDeterminism(t *testing.T) {
 	render := func() string {
 		var stdout, stderr bytes.Buffer
 		args := []string{"-exp", "coexec", "-scale", "smoke", "-seed", "1"}
-		if code := run(args, &stdout, &stderr); code != 0 {
+		if code := run(context.Background(), args, &stdout, &stderr); code != 0 {
 			t.Fatalf("run(%v) = %d, stderr: %s", args, code, stderr.String())
 		}
 		return stdout.String()

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,7 +35,7 @@ func main() {
 		os.Exit(2)
 	}
 	p := lulesh.NewProblem(lulesh.Config{S: *s, Iters: *iters, FunctionalIters: *fn}, prec)
-	err = harness.RunApp(os.Stdout, lulesh.AppName, machines,
+	err = harness.RunApp(context.Background(), os.Stdout, lulesh.AppName, machines,
 		func(m *sim.Machine, model modelapi.Name) appcore.Result { return p.Run(m, model) })
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -37,7 +38,7 @@ func main() {
 	}
 	p := minife.NewProblem(minife.Config{Nx: *nx, Ny: *ny, Nz: *nz, MaxIters: *iters, Tol: *tol, FunctionalIters: *fn}, prec)
 	fmt.Printf("system: %d unknowns, %d nonzeros\n\n", p.A.NumRows, p.A.NNZ())
-	err = harness.RunApp(os.Stdout, minife.AppName, machines,
+	err = harness.RunApp(context.Background(), os.Stdout, minife.AppName, machines,
 		func(m *sim.Machine, model modelapi.Name) appcore.Result {
 			r := p.Run(m, model)
 			return r.Result

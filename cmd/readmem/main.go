@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -31,7 +32,7 @@ func main() {
 		os.Exit(2)
 	}
 	p := readmem.NewProblem(readmem.Config{Blocks: *blocks, Precision: prec})
-	err = harness.RunApp(os.Stdout, readmem.AppName, machines,
+	err = harness.RunApp(context.Background(), os.Stdout, readmem.AppName, machines,
 		func(m *sim.Machine, model modelapi.Name) appcore.Result { return p.Run(m, model) })
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

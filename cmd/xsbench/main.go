@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -53,7 +54,7 @@ func main() {
 	}
 	p := xsbench.NewProblem(cfg, prec)
 	fmt.Printf("lookup table: %.0f MB\n\n", float64(cfg.TableBytes(prec))/(1<<20))
-	err = harness.RunApp(os.Stdout, xsbench.AppName, machines,
+	err = harness.RunApp(context.Background(), os.Stdout, xsbench.AppName, machines,
 		func(m *sim.Machine, model modelapi.Name) appcore.Result { return p.Run(m, model) })
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

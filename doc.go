@@ -24,10 +24,21 @@
 //	                  Stats with per-cell quantiles, ProgressSink events
 //	internal/report   ASCII tables, series, CSV, and the hetbench-bench/v1
 //	                  BENCH_*.json schema with the PerfDelta gate
+//	internal/service  hetbenchd's core: content-addressed result cache,
+//	                  singleflight dedup, bounded admission with load
+//	                  shedding, end-to-end cancellation, drain on Close
+//	internal/service/client
+//	                  retrying client (backoff + Retry-After) and the
+//	                  loadgen mode with hit/miss latency quantiles
+//	internal/service/chaostest
+//	                  failure-injection harness: gated/panicking runs,
+//	                  goroutine-leak checker, slow reader
 //	internal/analysis hetlint's domain analyzers (detnondet, spanleak,
-//	                  launchcheck, counterkey)
+//	                  launchcheck, counterkey, ctxflow)
 //	cmd/hetbench      the experiment driver (-exp, -jobs, -trace, -metrics,
 //	                  -progress, -bench-out, -bench-delta)
+//	cmd/hetbenchd     the HTTP/JSON simulation daemon
+//	cmd/hetbenchctl   its client: single runs, -loadgen, -metricz
 //	cmd/hetlint       the static-analysis driver
 //
 // Perf baselines BENCH_hotpath.json and BENCH_runner.json live at the

@@ -1,6 +1,6 @@
 // Package analysis is hetlint's stdlib-only static-analysis driver. It
 // loads every package in the module (go/parser + go/types, no external
-// dependencies) and runs four domain analyzers that turn the repo's
+// dependencies) and runs five domain analyzers that turn the repo's
 // load-bearing conventions into mechanically-checked rules:
 //
 //   - detnondet:   no wall-clock or global-PRNG nondeterminism in
@@ -12,7 +12,10 @@
 //     injector with a bare accelerator LaunchKernel;
 //   - counterkey:  trace counter names are lowercase dotted string
 //     constants in the established namespaces, never formatted at
-//     runtime on the launch hot path.
+//     runtime on the launch hot path;
+//   - ctxflow:     request-handling code in service packages never
+//     conjures a fresh context.Background()/context.TODO() — contexts
+//     derive from the request so disconnects and deadlines propagate.
 //
 // Intentional violations are annotated in source with
 //
@@ -65,7 +68,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns hetlint's rule set in its fixed presentation order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DetNonDet, SpanLeak, LaunchCheck, CounterKey}
+	return []*Analyzer{DetNonDet, SpanLeak, LaunchCheck, CounterKey, CtxFlow}
 }
 
 // DirectiveName is the pseudo-analyzer findings about the //hetlint:allow

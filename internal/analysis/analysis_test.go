@@ -29,6 +29,8 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"launchcheckfree", []*analysis.Analyzer{analysis.LaunchCheck}, 0},
 		{"counterkey", []*analysis.Analyzer{analysis.CounterKey}, 6},
 		{"histkey", []*analysis.Analyzer{analysis.CounterKey}, 6},
+		{"service", []*analysis.Analyzer{analysis.CtxFlow}, 2},
+		{"ctxflowfree", []*analysis.Analyzer{analysis.CtxFlow}, 0},
 	}
 	for _, tc := range tests {
 		t.Run(tc.fixture, func(t *testing.T) {
@@ -74,13 +76,13 @@ func TestFindingString(t *testing.T) {
 	}
 }
 
-// TestAnalyzersOrder pins the registry: four rules, fixed names.
+// TestAnalyzersOrder pins the registry: five rules, fixed names.
 func TestAnalyzersOrder(t *testing.T) {
 	var names []string
 	for _, a := range analysis.Analyzers() {
 		names = append(names, a.Name)
 	}
-	want := []string{"detnondet", "spanleak", "launchcheck", "counterkey"}
+	want := []string{"detnondet", "spanleak", "launchcheck", "counterkey", "ctxflow"}
 	if len(names) != len(want) {
 		t.Fatalf("Analyzers() = %v, want %v", names, want)
 	}

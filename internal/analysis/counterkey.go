@@ -31,7 +31,7 @@ var CounterKey = &Analyzer{
 var counterNamespaces = map[string]bool{
 	"kernel": true, "transfer": true, "dram": true, "llc": true,
 	"lds": true, "flops": true, "instrs": true, "energy": true,
-	"fault": true, "resilience": true, "sched": true,
+	"fault": true, "resilience": true, "sched": true, "service": true,
 }
 
 // counterNameRE admits lowercase dotted names; hyphens may join words

@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CtxFlow guards hetbenchd's cancellation plumbing: inside a service
+// package (any import-path segment equal to "service"), request-handling
+// code must thread the caller's context — a fresh context.Background()
+// or context.TODO() silently severs the chain that lets client
+// disconnects and per-request deadlines cancel in-flight simulation
+// work. Code that deliberately outlives one request (a run shared by
+// several deduplicated requests, a daemon-lifetime root) derives from
+// the request via context.WithoutCancel, or carries a
+// //hetlint:allow ctxflow directive naming why.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags context.Background()/context.TODO() in service request-handling packages",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	if !inServiceScope(p.Pkg.Path) {
+		return
+	}
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObj(info, call)
+			if isPkgFunc(obj, "context", "Background", "TODO") {
+				p.Reportf(call.Pos(), "context.%s() severs cancellation from the request; thread the caller's ctx (or derive a detached one with context.WithoutCancel)", obj.Name())
+			}
+			return true
+		})
+	}
+}
+
+// inServiceScope reports whether an import path names a service package:
+// any "/"-separated segment equal to "service" (internal/service and its
+// subpackages, plus the testdata fixture).
+func inServiceScope(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "service" {
+			return true
+		}
+	}
+	return false
+}

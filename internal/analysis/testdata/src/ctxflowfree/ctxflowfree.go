@@ -1,0 +1,14 @@
+// Package ctxflowfree is the ctxflow analyzer's out-of-scope fixture:
+// its import path has no "service" segment, so root contexts here —
+// normal for CLIs, tests and batch tools — produce no findings.
+package ctxflowfree
+
+import "context"
+
+func batchMain() context.Context {
+	return context.Background()
+}
+
+func scratch() context.Context {
+	return context.TODO()
+}

@@ -1,0 +1,26 @@
+// Package service is the fixture for hetlint's ctxflow analyzer: inside
+// a service package, request handlers must thread the caller's context
+// so disconnects and deadlines cancel in-flight work; conjuring a fresh
+// root context severs that chain.
+package service
+
+import "context"
+
+type request struct {
+	ctx context.Context
+}
+
+func handle(r request) {
+	run(r.ctx)                        // good: the request's own context
+	run(context.WithoutCancel(r.ctx)) // good: deliberately detached, values kept
+	run(context.Background())         // want `context.Background\(\) severs cancellation from the request`
+	run(context.TODO())               // want `context.TODO\(\) severs cancellation from the request`
+}
+
+// daemonRoot carries a suppression: the daemon's own lifetime context is
+// the one sanctioned root.
+func daemonRoot() context.Context {
+	return context.Background() //hetlint:allow ctxflow process-lifetime root for the daemon, not a request path
+}
+
+func run(ctx context.Context) { _ = ctx }

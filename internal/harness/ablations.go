@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -26,7 +27,7 @@ type HCCell struct {
 // GPU models including HC: the async-overlap model must beat C++ AMP and
 // OpenACC and approach (or beat) OpenCL, because uploads hide behind
 // kernels and no compiler-managed copies ever recur.
-func AblationHCData(scale Scale) []HCCell {
+func AblationHCData(ctx context.Context, scale Scale) ([]HCCell, error) {
 	// One runner cell per (app, model) row, each with its own workloads
 	// and machine; the row order matches the serial table.
 	combos := []struct {
@@ -43,7 +44,7 @@ func AblationHCData(scale Scale) []HCCell {
 		{"LULESH", modelapi.OpenACC, func(w *workloads, m *sim.Machine) appcore.Result { return w.Lulesh().RunOpenACC(m) }},
 		{"LULESH", modelapi.HC, func(w *workloads, m *sim.Machine) appcore.Result { return w.Lulesh().RunHC(m) }},
 	}
-	return runner.Map("hc", len(combos), func(cx *runner.Ctx, i int) HCCell {
+	return runner.Map(ctx, "hc", len(combos), func(cx *runner.Ctx, i int) HCCell {
 		c := combos[i]
 		w := newWorkloads(scale, timing.Double)
 		r := c.run(w, cx.Machine(sim.NewDGPU))
@@ -55,27 +56,31 @@ func AblationHCData(scale Scale) []HCCell {
 }
 
 // RunAblationHC renders the Section VII comparison.
-func RunAblationHC(scale Scale, w io.Writer) error {
+func RunAblationHC(ctx context.Context, scale Scale, w io.Writer) error {
 	t := report.NewTable("XSBench and LULESH on the R9 280X: HC's async transfers vs the 2015 models",
 		"Application", "Model", "Elapsed ms", "Kernel ms", "Transfer ms (charged)")
-	for _, c := range AblationHCData(scale) {
+	cells, err := AblationHCData(ctx, scale)
+	if err != nil {
+		return err
+	}
+	for _, c := range cells {
 		t.AddRowf(c.App, string(c.Model), fmt.Sprintf("%.2f", c.ElapsedMs), fmt.Sprintf("%.2f", c.KernelMs), fmt.Sprintf("%.2f", c.TransferMs))
 	}
-	_, err := t.WriteTo(w)
+	_, err = t.WriteTo(w)
 	return err
 }
 
 // AblationTilesData returns (flat, tiled) CoMD OpenCL kernel times on the
 // dGPU in ms — the Section VI-C "tiles gave ≈3×" claim. Uses a dedicated
 // instance large enough that the force kernel dominates launch overhead.
-func AblationTilesData(scale Scale) (flatMs, tiledMs float64) {
+func AblationTilesData(ctx context.Context, scale Scale) (flatMs, tiledMs float64, err error) {
 	cfg := comd.Config{Nx: 16, Ny: 16, Nz: 16, Iters: 3, FunctionalIters: 1}
 	if scale == ScalePaper {
 		cfg.Nx, cfg.Ny, cfg.Nz = 24, 24, 24
 	}
 	// Two independent cells: the flat and tiled variants share nothing
 	// but the (immutable) problem configuration.
-	ms := runner.Map("tiles", 2, func(cx *runner.Ctx, i int) float64 {
+	ms, err := runner.Map(ctx, "tiles", 2, func(cx *runner.Ctx, i int) float64 {
 		p := comd.NewProblem(cfg, timing.Single)
 		m := cx.Machine(sim.NewDGPU)
 		if i == 0 {
@@ -83,17 +88,23 @@ func AblationTilesData(scale Scale) (flatMs, tiledMs float64) {
 		}
 		return p.RunOpenCL(m).KernelNs / 1e6
 	})
-	return ms[0], ms[1]
+	if err != nil {
+		return 0, 0, err
+	}
+	return ms[0], ms[1], nil
 }
 
 // RunAblationTiles renders the tiling ablation.
-func RunAblationTiles(scale Scale, w io.Writer) error {
-	flat, tiled := AblationTilesData(scale)
+func RunAblationTiles(ctx context.Context, scale Scale, w io.Writer) error {
+	flat, tiled, err := AblationTilesData(ctx, scale)
+	if err != nil {
+		return err
+	}
 	t := report.NewTable("CoMD force kernel on the R9 280X: LDS tiling (Section VI-C, paper: ≈3×)",
 		"Variant", "Kernel ms", "Speedup")
 	t.AddRowf("flat (no tiles)", fmt.Sprintf("%.3f", flat), "1.00")
 	t.AddRowf("tiled (tile_static)", fmt.Sprintf("%.3f", tiled), fmt.Sprintf("%.2f", flat/tiled))
-	_, err := t.WriteTo(w)
+	_, err = t.WriteTo(w)
 	return err
 }
 
@@ -109,7 +120,7 @@ type GridTypeCell struct {
 // smaller table) under OpenCL on the discrete GPU — the memory/compute
 // trade behind the paper's aside that "the next step in the lookup-table
 // size was 5 GB".
-func AblationGridTypeData(scale Scale) []GridTypeCell {
+func AblationGridTypeData(ctx context.Context, scale Scale) ([]GridTypeCell, error) {
 	base := xsbench.Config{Nuclides: 32, GridPoints: 2048, Lookups: 100_000}
 	if scale == ScaleDefault {
 		base = xsbench.Config{Nuclides: 48, GridPoints: 4096, Lookups: 500_000}
@@ -118,7 +129,7 @@ func AblationGridTypeData(scale Scale) []GridTypeCell {
 		base = xsbench.PaperSmall()
 	}
 	grids := []xsbench.GridType{xsbench.UnionizedGrid, xsbench.NuclideGridOnly}
-	return runner.Map("gridtype", len(grids), func(cx *runner.Ctx, i int) GridTypeCell {
+	return runner.Map(ctx, "gridtype", len(grids), func(cx *runner.Ctx, i int) GridTypeCell {
 		cfg := base
 		cfg.Grid = grids[i]
 		p := xsbench.NewProblem(cfg, timing.Double)
@@ -134,23 +145,27 @@ func AblationGridTypeData(scale Scale) []GridTypeCell {
 }
 
 // RunAblationGridType renders the grid-structure ablation.
-func RunAblationGridType(scale Scale, w io.Writer) error {
+func RunAblationGridType(ctx context.Context, scale Scale, w io.Writer) error {
 	t := report.NewTable("XSBench grid structures on the R9 280X (OpenCL): memory vs search work",
 		"Grid", "Table MB", "Elapsed ms", "Kernel ms", "Transfer ms")
-	for _, c := range AblationGridTypeData(scale) {
+	cells, err := AblationGridTypeData(ctx, scale)
+	if err != nil {
+		return err
+	}
+	for _, c := range cells {
 		t.AddRowf(c.Grid, fmt.Sprintf("%.0f", c.TableMB), fmt.Sprintf("%.2f", c.ElapsedMs),
 			fmt.Sprintf("%.2f", c.KernelMs), fmt.Sprintf("%.2f", c.TransferMs))
 	}
-	_, err := t.WriteTo(w)
+	_, err = t.WriteTo(w)
 	return err
 }
 
 // AblationDataRegionData returns miniFE OpenACC transfer volumes on the
 // dGPU with and without the hand-placed data region (ms elapsed, MB
 // moved).
-func AblationDataRegionData(scale Scale) (withMs, withoutMs float64, withMB, withoutMB float64) {
+func AblationDataRegionData(ctx context.Context, scale Scale) (withMs, withoutMs float64, withMB, withoutMB float64, err error) {
 	type cell struct{ ms, mb float64 }
-	out := runner.Map("dataregion", 2, func(cx *runner.Ctx, i int) cell {
+	out, err := runner.Map(ctx, "dataregion", 2, func(cx *runner.Ctx, i int) cell {
 		w := newWorkloads(scale, timing.Double)
 		m := cx.Machine(sim.NewDGPU)
 		var r appcore.Result
@@ -162,17 +177,23 @@ func AblationDataRegionData(scale Scale) (withMs, withoutMs float64, withMB, wit
 		st := m.Link().Stats()
 		return cell{ms: r.ElapsedNs / 1e6, mb: float64(st.BytesToDevice+st.BytesFromDevice) / (1 << 20)}
 	})
-	return out[0].ms, out[1].ms, out[0].mb, out[1].mb
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	return out[0].ms, out[1].ms, out[0].mb, out[1].mb, nil
 }
 
 // RunAblationDataRegion renders the data-directive ablation.
-func RunAblationDataRegion(scale Scale, w io.Writer) error {
-	withMs, withoutMs, withMB, withoutMB := AblationDataRegionData(scale)
+func RunAblationDataRegion(ctx context.Context, scale Scale, w io.Writer) error {
+	withMs, withoutMs, withMB, withoutMB, err := AblationDataRegionData(ctx, scale)
+	if err != nil {
+		return err
+	}
 	t := report.NewTable("miniFE OpenACC on the R9 280X: the `data` directive (Section III-B)",
 		"Variant", "Elapsed ms", "PCIe traffic MB")
 	t.AddRowf("with data region", fmt.Sprintf("%.2f", withMs), fmt.Sprintf("%.1f", withMB))
 	t.AddRowf("per-region copies", fmt.Sprintf("%.2f", withoutMs), fmt.Sprintf("%.1f", withoutMB))
 	t.AddRowf("penalty", fmt.Sprintf("%.2fx", withoutMs/withMs), fmt.Sprintf("%.1fx", withoutMB/withMB))
-	_, err := t.WriteTo(w)
+	_, err = t.WriteTo(w)
 	return err
 }

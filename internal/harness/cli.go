@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -41,7 +42,7 @@ func ParsePrecision(s string) (timing.Precision, error) {
 // RunApp runs one app under OpenMP + the three GPU models on each machine
 // and prints a per-model comparison table — the shared body of the
 // per-application command-line tools.
-func RunApp(w io.Writer, appName string, machines []func() *sim.Machine,
+func RunApp(ctx context.Context, w io.Writer, appName string, machines []func() *sim.Machine,
 	run func(m *sim.Machine, model modelapi.Name) appcore.Result) error {
 
 	// The OpenMP baseline is machine-independent (it always runs on the
@@ -74,6 +75,6 @@ func RunApp(w io.Writer, appName string, machines []func() *sim.Machine,
 			return nil
 		}}
 	}
-	_, err := runner.Run(w, cells)
+	_, err := runner.Run(ctx, w, cells)
 	return err
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -64,7 +65,7 @@ func (c CoexecCell) Speedup() float64 {
 // both machines. The partitioners draw no randomness, so the sweep is
 // bit-reproducible under any run-wide seed; Seed() is still threaded into
 // each scheduler so future stochastic policies inherit the contract.
-func CoexecData(scale Scale) []CoexecCell {
+func CoexecData(ctx context.Context, scale Scale) ([]CoexecCell, error) {
 	apps := []struct {
 		name string
 		run  func(w *workloads, m *sim.Machine) appcore.Result
@@ -90,7 +91,7 @@ func CoexecData(scale Scale) []CoexecCell {
 			combos = append(combos, combo{mi, ai})
 		}
 	}
-	groups := runner.Map("coexec", len(combos), func(cx *runner.Ctx, i int) []CoexecCell {
+	groups, err := runner.Map(ctx, "coexec", len(combos), func(cx *runner.Ctx, i int) []CoexecCell {
 		mach, app := machines[combos[i].mach], apps[combos[i].app]
 		w := newWorkloads(scale, timing.Double)
 		baseline := app.run(w, cx.Machine(mach.mk))
@@ -115,18 +116,24 @@ func CoexecData(scale Scale) []CoexecCell {
 		}
 		return cells
 	})
+	if err != nil {
+		return nil, err
+	}
 	var cells []CoexecCell
 	for _, g := range groups {
 		cells = append(cells, g...)
 	}
-	return cells
+	return cells, nil
 }
 
 // RunCoexec is the coexec experiment: one table per machine comparing the
 // partitioners' makespans against the accelerator-only baseline, with the
 // host's share of the iteration space and the chunk/migration tallies.
-func RunCoexec(scale Scale, w io.Writer) error {
-	cells := CoexecData(scale)
+func RunCoexec(ctx context.Context, scale Scale, w io.Writer) error {
+	cells, err := CoexecData(ctx, scale)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "CPU+accelerator co-execution under OpenCL costs (seed %d; the partitioners are\n", Seed())
 	fmt.Fprintln(w, "deterministic, so equal seeds give bit-identical sweeps). Irregular kernels —")
 	fmt.Fprintln(w, "miniFE's SpMV stays eligible here because OpenCL uses CSR-Adaptive — run split;")

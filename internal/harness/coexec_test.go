@@ -24,7 +24,7 @@ func findCell(t *testing.T, cells []CoexecCell, machine, app, part string) Coexe
 // dynamic partitioner's simulated time beats the worst static split on both
 // machines.
 func TestCoexecDynamicBeatsWorstStatic(t *testing.T) {
-	cells := CoexecData(ScaleSmoke)
+	cells := must(CoexecData(bg, ScaleSmoke))
 	for _, mach := range []string{"APU", "dGPU"} {
 		worst := 0.0
 		for _, part := range []string{"static", "static25", "static75"} {
@@ -43,7 +43,7 @@ func TestCoexecDynamicBeatsWorstStatic(t *testing.T) {
 // all launched items accounted for somewhere) without breaking the app:
 // the checksum must match the gpu-only baseline's.
 func TestCoexecCellsSplitAndStayCorrect(t *testing.T) {
-	cells := CoexecData(ScaleSmoke)
+	cells := must(CoexecData(bg, ScaleSmoke))
 	for _, c := range cells {
 		if c.Partition == "gpu-only" {
 			continue
@@ -62,8 +62,8 @@ func TestCoexecCellsSplitAndStayCorrect(t *testing.T) {
 // Two sweeps under the same seed and scale must be identical cell by cell —
 // the coexec experiment's -seed determinism contract.
 func TestCoexecDeterminism(t *testing.T) {
-	a := CoexecData(ScaleSmoke)
-	b := CoexecData(ScaleSmoke)
+	a := must(CoexecData(bg, ScaleSmoke))
+	b := must(CoexecData(bg, ScaleSmoke))
 	if len(a) != len(b) {
 		t.Fatalf("sweep lengths differ: %d vs %d", len(a), len(b))
 	}
@@ -77,7 +77,7 @@ func TestCoexecDeterminism(t *testing.T) {
 // RunCoexec renders one table per machine and mentions the seed contract.
 func TestRunCoexecOutput(t *testing.T) {
 	var buf bytes.Buffer
-	if err := RunCoexec(ScaleSmoke, &buf); err != nil {
+	if err := RunCoexec(bg, ScaleSmoke, &buf); err != nil {
 		t.Fatalf("RunCoexec: %v", err)
 	}
 	out := buf.String()

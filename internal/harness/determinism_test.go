@@ -29,10 +29,10 @@ func TestParallelSweepsMatchSerialUnderCapture(t *testing.T) {
 		runner.SetCapture(capture)
 		defer runner.SetCapture(nil)
 		var buf bytes.Buffer
-		if err := RunCoexec(ScaleSmoke, &buf); err != nil {
+		if err := RunCoexec(bg, ScaleSmoke, &buf); err != nil {
 			t.Fatal(err)
 		}
-		if err := RunFaults(ScaleSmoke, &buf); err != nil {
+		if err := RunFaults(bg, ScaleSmoke, &buf); err != nil {
 			t.Fatal(err)
 		}
 		return snapshot{buf.String(), capture.Len(), capture.Processes(), capture.Metrics().Snapshot()}

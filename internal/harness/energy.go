@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -28,7 +29,7 @@ type EnergyRow struct {
 // paper's opening motivation — heterogeneous devices exist to maximize
 // performance under power budgets — answering which device wins on
 // energy-to-solution, not just time.
-func EnergyData(scale Scale) []EnergyRow {
+func EnergyData(ctx context.Context, scale Scale) ([]EnergyRow, error) {
 	// One runner cell per (app, machine) measurement, app-major so the
 	// merged rows keep the serial sweep's order (the winner table pairs
 	// consecutive rows).
@@ -42,7 +43,7 @@ func EnergyData(scale Scale) []EnergyRow {
 			combos = append(combos, combo{app, mk})
 		}
 	}
-	return runner.Map("energy", len(combos), func(cx *runner.Ctx, i int) EnergyRow {
+	return runner.Map(ctx, "energy", len(combos), func(cx *runner.Ctx, i int) EnergyRow {
 		w := newWorkloads(scale, timing.Double)
 		r, _ := w.runnerByName(combos[i].app)
 		m := cx.Machine(combos[i].mk)
@@ -85,8 +86,11 @@ func EnergyData(scale Scale) []EnergyRow {
 }
 
 // RunEnergy renders the energy comparison.
-func RunEnergy(scale Scale, w io.Writer) error {
-	rows := EnergyData(scale)
+func RunEnergy(ctx context.Context, scale Scale, w io.Writer) error {
+	rows, err := EnergyData(ctx, scale)
+	if err != nil {
+		return err
+	}
 	t := report.NewTable("Energy to solution under OpenCL (device power only, DP)",
 		"Application", "Device", "Time ms", "Energy J", "Avg W")
 	for _, r := range rows {
@@ -106,6 +110,6 @@ func RunEnergy(scale Scale, w io.Writer) error {
 		}
 		t2.AddRowf(apu.App, winner, fmt.Sprintf("%.2f", dgpu.EnergyJ/apu.EnergyJ))
 	}
-	_, err := t2.WriteTo(w)
+	_, err = t2.WriteTo(w)
 	return err
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -101,12 +102,12 @@ type Table1Row struct {
 // LLC miss rates use fixed characterization instances whose footprints
 // exceed the 768 KB L2 regardless of the timing-run scale, because a
 // cache-resident toy instance would report vacuous 0% rates.
-func Table1Data(scale Scale) []Table1Row {
+func Table1Data(ctx context.Context, scale Scale) ([]Table1Row, error) {
 	char := characterizationMissRates()
 	// Table I lists only the four proxy applications (not read-benchmark);
 	// one runner cell per app, each with its own workloads and machine.
 	apps := []string{"LULESH", "CoMD", "XSBench", "miniFE"}
-	return runner.Map("table1", len(apps), func(cx *runner.Ctx, i int) Table1Row {
+	return runner.Map(ctx, "table1", len(apps), func(cx *runner.Ctx, i int) Table1Row {
 		w := newWorkloads(scale, timing.Double)
 		r, _ := w.runnerByName(apps[i])
 		m := cx.Machine(sim.NewDGPU)
@@ -134,7 +135,7 @@ func characterizationMissRates() map[string]float64 {
 }
 
 // RunTable1 renders Table I.
-func RunTable1(scale Scale, w io.Writer) error {
+func RunTable1(ctx context.Context, scale Scale, w io.Writer) error {
 	t := report.NewTable("", "Application", "LLC Miss Rate", "IPC", "Kernels", "Boundedness", "Paper (miss/IPC/bound)")
 	paper := map[string]string{
 		"LULESH":  "11% / 0.65 / Balanced",
@@ -142,15 +143,19 @@ func RunTable1(scale Scale, w io.Writer) error {
 		"XSBench": "53% / 0.14 / Compute",
 		"miniFE":  "39% / 0.88 / Memory",
 	}
-	for _, r := range Table1Data(scale) {
+	rows, err := Table1Data(ctx, scale)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
 		t.AddRowf(r.App, fmt.Sprintf("%.0f%%", r.MissRate*100), r.IPC, r.Kernels, r.Boundedness, paper[r.App])
 	}
-	_, err := t.WriteTo(w)
+	_, err = t.WriteTo(w)
 	return err
 }
 
 // RunTable2 renders the hardware catalog (Table II).
-func RunTable2(_ Scale, w io.Writer) error {
+func RunTable2(_ context.Context, _ Scale, w io.Writer) error {
 	dgpu, apu, cpu := device.R9280X(), device.A10_7850K(), device.HostCPU()
 	t := report.NewTable("", "Name", "AMD Radeon R9 280X", "AMD A10-7850K (GPU)", "Host CPU")
 	row := func(label string, f func(*device.Device) string) {
@@ -175,7 +180,7 @@ func RunTable2(_ Scale, w io.Writer) error {
 }
 
 // RunTable3 renders the compiler table (Table III).
-func RunTable3(_ Scale, w io.Writer) error {
+func RunTable3(_ context.Context, _ Scale, w io.Writer) error {
 	t := report.NewTable("", "Programming Model", "Compiler", "Transfer Strategy")
 	for _, n := range []modelapi.Name{modelapi.OpenCL, modelapi.CppAMP, modelapi.OpenACC} {
 		p := modelapi.ProfileFor(n)
@@ -187,7 +192,7 @@ func RunTable3(_ Scale, w io.Writer) error {
 
 // RunTable4 renders the paper's SLOC table plus this repository's own
 // counted per-app implementation sizes (methodology demonstration).
-func RunTable4(_ Scale, w io.Writer) error {
+func RunTable4(_ context.Context, _ Scale, w io.Writer) error {
 	t := report.NewTable("Paper-measured lines changed from serial (SLOCCount)",
 		"Application", "OpenMP", "OpenCL", "C++ AMP", "OpenACC")
 	for _, r := range sloc.Table4() {
@@ -213,7 +218,7 @@ func RunTable4(_ Scale, w io.Writer) error {
 }
 
 // RunFig11 renders the optimization-feature matrix.
-func RunFig11(_ Scale, w io.Writer) error {
+func RunFig11(_ context.Context, _ Scale, w io.Writer) error {
 	t := report.NewTable("", "Model", "Vectorization", "Local Data Store", "Fine-grained Sync", "Explicit Unroll", "Reducing Code Motion")
 	mark := func(b bool) string {
 		if b {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -79,7 +80,7 @@ func cellSeed(mi, ri int) int64 {
 // model's fault-free golden value: transient faults are absorbed by
 // retry/backoff, hangs by the watchdog, persistent device loss by host
 // fallback, and silent corruption by golden-checksum redo.
-func FaultsData(scale Scale) []FaultCell {
+func FaultsData(ctx context.Context, scale Scale) ([]FaultCell, error) {
 	pol := fault.DefaultPolicy()
 	models := modelapi.All()
 	// One runner cell per model: the model's fault-free run is the golden
@@ -87,7 +88,7 @@ func FaultsData(scale Scale) []FaultCell {
 	// inside the cell rather than recomputing the clean run per rate.
 	// Each fault cell still derives its own injector seed from (mi, ri),
 	// so the streams are identical to the serial sweep's.
-	groups := runner.Map("faults", len(models), func(cx *runner.Ctx, mi int) []FaultCell {
+	groups, err := runner.Map(ctx, "faults", len(models), func(cx *runner.Ctx, mi int) []FaultCell {
 		model := models[mi]
 		w := newWorkloads(scale, timing.Double)
 		clean := w.Lulesh().Run(cx.Machine(sim.NewDGPU), model)
@@ -115,11 +116,14 @@ func FaultsData(scale Scale) []FaultCell {
 		}
 		return cells
 	})
+	if err != nil {
+		return nil, err
+	}
 	out := make([]FaultCell, 0, len(models)*len(FaultRates))
 	for _, g := range groups {
 		out = append(out, g...)
 	}
-	return out
+	return out, nil
 }
 
 // runResilient executes one app run under fault injection until its
@@ -152,8 +156,11 @@ func runResilient(m *sim.Machine, pol fault.Policy, golden float64, run func() a
 // table, exposing the per-model recovery-cost contrast — OpenCL re-stages
 // only staged buffers, C++ AMP re-syncs its whole capture set, OpenACC
 // re-copies the whole kernels region — plus the fallback and redo tallies.
-func RunFaults(scale Scale, w io.Writer) error {
-	cells := FaultsData(scale)
+func RunFaults(ctx context.Context, scale Scale, w io.Writer) error {
+	cells, err := FaultsData(ctx, scale)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "LULESH on the R9 280X under seeded fault injection (seed %d, policy: %d attempts, %g µs watchdog).\n",
 		Seed(), fault.DefaultPolicy().MaxAttempts, fault.DefaultPolicy().WatchdogNs/1e3)
 	fmt.Fprintln(w, "Every cell completes with the fault-free checksum; overhead is extra time vs the clean run.")

@@ -14,7 +14,7 @@ import (
 // completes with the fault-free golden checksum — recovery by retry,
 // watchdog, fallback or redo, never a wrong number.
 func TestFaultsSweepCompletesWithGoldenChecksums(t *testing.T) {
-	cells := FaultsData(ScaleSmoke)
+	cells := must(FaultsData(bg, ScaleSmoke))
 	if want := 3 * len(FaultRates); len(cells) != want {
 		t.Fatalf("%d cells, want %d", len(cells), want)
 	}
@@ -54,7 +54,7 @@ func TestFaultsReproducibleUnderSeed(t *testing.T) {
 	render := func(s int64) string {
 		SetSeed(s)
 		var buf bytes.Buffer
-		if err := RunFaults(ScaleSmoke, &buf); err != nil {
+		if err := RunFaults(bg, ScaleSmoke, &buf); err != nil {
 			t.Fatal(err)
 		}
 		return buf.String()

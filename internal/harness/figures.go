@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -94,7 +95,7 @@ func fig7Data(cx *runner.Ctx, scale Scale, app string) ([]*report.Series, error)
 }
 
 // RunFig7 renders all five sub-figures, one runner cell per app.
-func RunFig7(scale Scale, w io.Writer) error {
+func RunFig7(ctx context.Context, scale Scale, w io.Writer) error {
 	cells := make([]runner.Cell, len(AppNames))
 	for i, app := range AppNames {
 		app := app
@@ -116,7 +117,7 @@ func RunFig7(scale Scale, w io.Writer) error {
 			return nil
 		}}
 	}
-	_, err := runner.Run(w, cells)
+	_, err := runner.Run(ctx, w, cells)
 	return err
 }
 
@@ -136,7 +137,7 @@ type SpeedupCell struct {
 // SpeedupData runs 3 models × {SP, DP} × 5 apps against the OpenMP
 // baseline on the given machine constructor (Figure 8: sim.NewAPU,
 // Figure 9: sim.NewDGPU).
-func SpeedupData(scale Scale, newMachine func() *sim.Machine) []SpeedupCell {
+func SpeedupData(ctx context.Context, scale Scale, newMachine func() *sim.Machine) ([]SpeedupCell, error) {
 	// One runner cell per (precision, app): the cell runs the OpenMP
 	// baseline plus all three models, so the baseline is computed once per
 	// app without sharing state across cells. Cell order (precision-major,
@@ -151,7 +152,7 @@ func SpeedupData(scale Scale, newMachine func() *sim.Machine) []SpeedupCell {
 			combos = append(combos, combo{prec, app})
 		}
 	}
-	groups := runner.Map("speedup", len(combos), func(cx *runner.Ctx, i int) []SpeedupCell {
+	groups, err := runner.Map(ctx, "speedup", len(combos), func(cx *runner.Ctx, i int) []SpeedupCell {
 		c := combos[i]
 		w := newWorkloads(scale, c.prec)
 		r, _ := w.runnerByName(c.app)
@@ -178,11 +179,14 @@ func SpeedupData(scale Scale, newMachine func() *sim.Machine) []SpeedupCell {
 		}
 		return out
 	})
+	if err != nil {
+		return nil, err
+	}
 	var out []SpeedupCell
 	for _, g := range groups {
 		out = append(out, g...)
 	}
-	return out
+	return out, nil
 }
 
 func renderSpeedups(title string, cells []SpeedupCell, w io.Writer) error {
@@ -216,15 +220,23 @@ func renderSpeedups(title string, cells []SpeedupCell, w io.Writer) error {
 }
 
 // RunFig8 renders the APU speedups.
-func RunFig8(scale Scale, w io.Writer) error {
+func RunFig8(ctx context.Context, scale Scale, w io.Writer) error {
+	cells, err := SpeedupData(ctx, scale, sim.NewAPU)
+	if err != nil {
+		return err
+	}
 	return renderSpeedups("Speedup vs 4-core OpenMP on the A10-7850K APU (read-benchmark: kernel time only)",
-		SpeedupData(scale, sim.NewAPU), w)
+		cells, w)
 }
 
 // RunFig9 renders the discrete-GPU speedups.
-func RunFig9(scale Scale, w io.Writer) error {
+func RunFig9(ctx context.Context, scale Scale, w io.Writer) error {
+	cells, err := SpeedupData(ctx, scale, sim.NewDGPU)
+	if err != nil {
+		return err
+	}
 	return renderSpeedups("Speedup vs 4-core OpenMP on the R9 280X discrete GPU (read-benchmark: kernel time only)",
-		SpeedupData(scale, sim.NewDGPU), w)
+		cells, w)
 }
 
 // ---------------------------------------------------------------------
@@ -238,12 +250,12 @@ type ProductivityRow struct {
 
 // ProductivityData computes Figure 10 for one machine: Eq. 1 with
 // double-precision runtimes and the paper's Table IV line counts.
-func ProductivityData(scale Scale, newMachine func() *sim.Machine) []ProductivityRow {
+func ProductivityData(ctx context.Context, scale Scale, newMachine func() *sim.Machine) ([]ProductivityRow, error) {
 	lines := map[string]sloc.Table4Row{}
 	for _, r := range sloc.Table4() {
 		lines[r.App] = r
 	}
-	return runner.Map("productivity", len(AppNames), func(cx *runner.Ctx, i int) ProductivityRow {
+	return runner.Map(ctx, "productivity", len(AppNames), func(cx *runner.Ctx, i int) ProductivityRow {
 		w := newWorkloads(scale, timing.Double)
 		r, _ := w.runnerByName(AppNames[i])
 		base := r.run(cx.Machine(sim.NewAPU), modelapi.OpenMP)
@@ -295,7 +307,7 @@ func HarmonicMeans(rows []ProductivityRow) (cl, amp, acc float64) {
 }
 
 // RunFig10 renders productivity on both machines.
-func RunFig10(scale Scale, w io.Writer) error {
+func RunFig10(ctx context.Context, scale Scale, w io.Writer) error {
 	for _, sub := range []struct {
 		title string
 		mk    func() *sim.Machine
@@ -303,7 +315,10 @@ func RunFig10(scale Scale, w io.Writer) error {
 		{"Figure 10a: productivity on the A10-7850K APU (Eq. 1, double precision)", sim.NewAPU},
 		{"Figure 10b: productivity on the R9 280X discrete GPU (Eq. 1, double precision)", sim.NewDGPU},
 	} {
-		rows := ProductivityData(scale, sub.mk)
+		rows, err := ProductivityData(ctx, scale, sub.mk)
+		if err != nil {
+			return err
+		}
 		t := report.NewTable(sub.title, "Application", "OpenCL", "C++ AMP", "OpenACC")
 		for _, r := range rows {
 			t.AddRowf(r.App, fmt.Sprintf("%.2f", r.OpenCL), fmt.Sprintf("%.2f", r.CppAMP), fmt.Sprintf("%.2f", r.OpenACC))

@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -218,12 +219,15 @@ func (w *workloads) Minife() *minife.Problem {
 	return w.minife
 }
 
-// Experiment is one regenerable paper artifact.
+// Experiment is one regenerable paper artifact. Run honors ctx: a
+// canceled context stops the experiment at the next cell boundary (the
+// runner skips unstarted cells), which is how hetbenchd aborts work for
+// disconnected clients.
 type Experiment struct {
 	ID          string
 	Title       string
 	Description string
-	Run         func(scale Scale, w io.Writer) error
+	Run         func(ctx context.Context, scale Scale, w io.Writer) error
 }
 
 // Registry returns all experiments keyed by ID.
@@ -289,14 +293,18 @@ func IDs() []string {
 	return ids
 }
 
-// RunAll executes every experiment in order.
-func RunAll(scale Scale, w io.Writer) error {
+// RunAll executes every experiment in order, stopping at the first
+// failure or once ctx is canceled.
+func RunAll(ctx context.Context, scale Scale, w io.Writer) error {
 	order := []string{"table1", "table2", "table3", "table4", "fig7", "fig8", "fig9", "fig10", "fig11", "hc", "tiles", "dataregion", "gridtype", "scaling", "profile", "roofline", "energy", "trace", "faults", "coexec", "perfbaseline"}
 	reg := Registry()
 	for _, id := range order {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("harness: %s: %w", id, err)
+		}
 		e := reg[id]
 		fmt.Fprintf(w, "=== %s — %s ===\n", e.ID, e.Title)
-		if err := e.Run(scale, w); err != nil {
+		if err := e.Run(ctx, scale, w); err != nil {
 			return fmt.Errorf("harness: %s: %w", id, err)
 		}
 		fmt.Fprintln(w)

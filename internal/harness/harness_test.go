@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -10,6 +11,19 @@ import (
 	"hetbench/internal/sim"
 	"hetbench/internal/sim/timing"
 )
+
+// bg is the context threaded through Data calls in tests; none of these
+// sweeps is ever canceled here.
+var bg = context.Background()
+
+// must unwraps a (value, error) pair from a Data sweep that cannot fail
+// under an uncanceled context; a panic here fails the test with a stack.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
@@ -58,7 +72,7 @@ func TestParseScale(t *testing.T) {
 // Table I: kernel counts must match the paper exactly; miss-rate ordering
 // must hold (XSBench worst, LULESH best); boundedness classes must match.
 func TestTable1Shapes(t *testing.T) {
-	rows := Table1Data(ScaleSmall)
+	rows := must(Table1Data(bg, ScaleSmall))
 	if len(rows) != 4 {
 		t.Fatalf("Table I rows = %d, want 4", len(rows))
 	}
@@ -142,8 +156,8 @@ func TestFig7Shapes(t *testing.T) {
 
 // Figures 8/9 headline orderings.
 func TestSpeedupShapes(t *testing.T) {
-	apu := SpeedupData(ScaleSmall, sim.NewAPU)
-	dgpu := SpeedupData(ScaleSmall, sim.NewDGPU)
+	apu := must(SpeedupData(bg, ScaleSmall, sim.NewAPU))
+	dgpu := must(SpeedupData(bg, ScaleSmall, sim.NewDGPU))
 
 	find := func(cells []SpeedupCell, app string, model modelapi.Name, prec timing.Precision) SpeedupCell {
 		for _, c := range cells {
@@ -194,7 +208,7 @@ func TestSpeedupShapes(t *testing.T) {
 // Figure 10 headline: C++ AMP most productive on the APU (harmonic mean);
 // OpenCL most productive on the dGPU.
 func TestProductivityShapes(t *testing.T) {
-	apu := ProductivityData(ScaleSmall, sim.NewAPU)
+	apu := must(ProductivityData(bg, ScaleSmall, sim.NewAPU))
 	cl, amp, acc := HarmonicMeans(apu)
 	if !(amp > cl) {
 		t.Errorf("APU harmonic means: AMP %.2f not above OpenCL %.2f (ACC %.2f)", amp, cl, acc)
@@ -205,7 +219,7 @@ func TestProductivityShapes(t *testing.T) {
 	// cannot rank OpenCL's harmonic mean first outright (EXPERIMENTS.md
 	// discusses this against the paper's own numbers), so we assert the
 	// relative shift plus a concrete per-app win.
-	dgpu := ProductivityData(ScaleSmall, sim.NewDGPU)
+	dgpu := must(ProductivityData(bg, ScaleSmall, sim.NewDGPU))
 	cl2, amp2, _ := HarmonicMeans(dgpu)
 	if (cl2 / amp2) <= 1.3*(cl/amp) {
 		t.Errorf("OpenCL/AMP productivity ratio did not improve APU→dGPU: %.3f → %.3f", cl/amp, cl2/amp2)
@@ -228,7 +242,7 @@ func TestAblationShapes(t *testing.T) {
 	// HC beats AMP and OpenACC on both dGPU apps and is at least
 	// competitive with OpenCL (async overlap hides uploads; no
 	// compiler-managed copies recur).
-	cells := AblationHCData(ScaleSmall)
+	cells := must(AblationHCData(bg, ScaleSmall))
 	for _, app := range []string{"XSBench", "LULESH"} {
 		byModel := map[modelapi.Name]HCCell{}
 		for _, c := range cells {
@@ -249,13 +263,19 @@ func TestAblationShapes(t *testing.T) {
 	}
 
 	// Tiling speedup is substantial.
-	flat, tiled := AblationTilesData(ScaleSmall)
+	flat, tiled, err := AblationTilesData(bg, ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if flat/tiled < 1.5 {
 		t.Errorf("tiling ablation speedup = %.2f, want ≥1.5", flat/tiled)
 	}
 
 	// Data region slashes PCIe traffic.
-	withMs, withoutMs, withMB, withoutMB := AblationDataRegionData(ScaleSmall)
+	withMs, withoutMs, withMB, withoutMB, err := AblationDataRegionData(bg, ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if withoutMB <= withMB*2 {
 		t.Errorf("conservative copies moved %.1f MB vs %.1f MB with region; want ≫", withoutMB, withMB)
 	}
@@ -265,7 +285,7 @@ func TestAblationShapes(t *testing.T) {
 
 	// Grid-structure trade: the nuclide grid moves far less data but
 	// does more search work in the kernel.
-	grids := AblationGridTypeData(ScaleSmall)
+	grids := must(AblationGridTypeData(bg, ScaleSmall))
 	if len(grids) != 2 {
 		t.Fatalf("gridtype rows = %d", len(grids))
 	}
@@ -309,7 +329,7 @@ func TestRunAppRenders(t *testing.T) {
 	w := newWorkloads(ScaleSmall, timing.Double)
 	var buf bytes.Buffer
 	machines, _ := Machines("both")
-	err := RunApp(&buf, "read-benchmark", machines, func(m *sim.Machine, md modelapi.Name) appcore.Result {
+	err := RunApp(bg, &buf, "read-benchmark", machines, func(m *sim.Machine, md modelapi.Name) appcore.Result {
 		return w.Readmem().Run(m, md)
 	})
 	if err != nil {
@@ -366,7 +386,7 @@ func TestProfileData(t *testing.T) {
 }
 
 func TestRooflineData(t *testing.T) {
-	rows := RooflineData(ScaleSmall)
+	rows := must(RooflineData(bg, ScaleSmall))
 	if len(rows) != 5 {
 		t.Fatalf("roofline rows = %d", len(rows))
 	}
@@ -396,7 +416,7 @@ func TestRooflineData(t *testing.T) {
 }
 
 func TestEnergyData(t *testing.T) {
-	rows := EnergyData(ScaleSmall)
+	rows := must(EnergyData(bg, ScaleSmall))
 	if len(rows) != 10 {
 		t.Fatalf("energy rows = %d, want 10 (5 apps × 2 devices)", len(rows))
 	}
@@ -435,7 +455,7 @@ func TestEnergyData(t *testing.T) {
 // Every experiment renders without error and produces output.
 func TestRunAllRenders(t *testing.T) {
 	var buf bytes.Buffer
-	if err := RunAll(ScaleSmall, &buf); err != nil {
+	if err := RunAll(bg, ScaleSmall, &buf); err != nil {
 		t.Fatalf("RunAll: %v", err)
 	}
 	out := buf.String()

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -27,7 +28,7 @@ const perfBaselineFaultRate = 0.05
 // buckets, so the output is byte-identical at any -jobs — while the
 // run itself is a representative runner workout whose wall-clock stats
 // feed BENCH_runner.json via `hetbench -exp perfbaseline -bench-out`.
-func RunPerfBaseline(scale Scale, w io.Writer) error {
+func RunPerfBaseline(ctx context.Context, scale Scale, w io.Writer) error {
 	fmt.Fprintln(w, "Latency distributions per cell (virtual-clock ns, log-bucketed histograms; quantiles are")
 	fmt.Fprintln(w, "bucket upper bounds clamped to the observed range, deterministic at any -jobs).")
 	fmt.Fprintln(w)
@@ -94,6 +95,6 @@ func RunPerfBaseline(scale Scale, w io.Writer) error {
 		return nil
 	}})
 
-	_, err := runner.Run(w, cells)
+	_, err := runner.Run(ctx, w, cells)
 	return err
 }

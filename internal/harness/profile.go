@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -88,7 +89,7 @@ func profileTable(w io.Writer, title string, rows []KernelProfileRow, limit int)
 
 // RunProfile renders the per-kernel and per-transfer profiles for all
 // three GPU models, one runner cell per model.
-func RunProfile(scale Scale, w io.Writer) error {
+func RunProfile(ctx context.Context, scale Scale, w io.Writer) error {
 	models := modelapi.All()
 	cells := make([]runner.Cell, len(models))
 	for i, model := range models {
@@ -111,7 +112,7 @@ func RunProfile(scale Scale, w io.Writer) error {
 			return nil
 		}}
 	}
-	_, err := runner.Run(w, cells)
+	_, err := runner.Run(ctx, w, cells)
 	return err
 }
 
@@ -129,8 +130,8 @@ type RooflineRow struct {
 
 // RooflineData replays each app's cost log on the dGPU and places it on
 // the classic roofline: attainable = min(peak, intensity × bandwidth).
-func RooflineData(scale Scale) []RooflineRow {
-	return runner.Map("roofline", len(AppNames), func(cx *runner.Ctx, i int) RooflineRow {
+func RooflineData(ctx context.Context, scale Scale) ([]RooflineRow, error) {
+	return runner.Map(ctx, "roofline", len(AppNames), func(cx *runner.Ctx, i int) RooflineRow {
 		w := newWorkloads(scale, timing.Single)
 		r, _ := w.runnerByName(AppNames[i])
 		m := cx.Machine(sim.NewDGPU)
@@ -175,16 +176,20 @@ func RooflineData(scale Scale) []RooflineRow {
 }
 
 // RunRoofline renders the roofline table.
-func RunRoofline(scale Scale, w io.Writer) error {
+func RunRoofline(ctx context.Context, scale Scale, w io.Writer) error {
 	t := report.NewTable("Roofline placement on the R9 280X (SP, OpenCL, DRAM-filtered traffic)",
 		"Application", "Flops/DRAM-byte", "Achieved GFLOPS", "Attainable GFLOPS", "Regime")
-	for _, r := range RooflineData(scale) {
+	rows, err := RooflineData(ctx, scale)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
 		t.AddRowf(r.App,
 			fmt.Sprintf("%.2f", r.IntensityFlopsPerByte),
 			fmt.Sprintf("%.0f", r.AchievedGflops),
 			fmt.Sprintf("%.0f", r.AttainableGflops),
 			r.Bound)
 	}
-	_, err := t.WriteTo(w)
+	_, err = t.WriteTo(w)
 	return err
 }

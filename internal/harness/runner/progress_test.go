@@ -3,6 +3,7 @@ package runner
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -47,7 +48,7 @@ func TestProgressEventSequence(t *testing.T) {
 			return nil
 		}}
 	}
-	if _, err := Run(nil, cells); !errors.Is(err, failure) {
+	if _, err := Run(context.Background(), nil, cells); !errors.Is(err, failure) {
 		t.Fatalf("Run error = %v, want %v", err, failure)
 	}
 	evs := sink.events
@@ -95,7 +96,7 @@ func TestTTYSinkRendersLine(t *testing.T) {
 		{Label: "a", Run: func(cx *Ctx) error { time.Sleep(time.Millisecond); return nil }},
 		{Label: "b", Run: func(cx *Ctx) error { return nil }},
 	}
-	if _, err := Run(nil, cells); err != nil {
+	if _, err := Run(context.Background(), nil, cells); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -121,7 +122,7 @@ func TestJSONLSinkEmitsParsableLines(t *testing.T) {
 			return nil
 		}}
 	}
-	if _, err := Run(nil, cells); err != nil {
+	if _, err := Run(context.Background(), nil, cells); err != nil {
 		t.Fatal(err)
 	}
 	sc := bufio.NewScanner(&buf)
@@ -149,7 +150,7 @@ func TestMultiSinkFansOut(t *testing.T) {
 	withJobs(t, 1)
 	a, b := &recordSink{}, &recordSink{}
 	withProgress(t, MultiSink{a, b})
-	if _, err := Run(nil, []Cell{{Run: func(cx *Ctx) error { return nil }}}); err != nil {
+	if _, err := Run(context.Background(), nil, []Cell{{Run: func(cx *Ctx) error { return nil }}}); err != nil {
 		t.Fatal(err)
 	}
 	if len(a.events) == 0 || len(a.events) != len(b.events) {
@@ -183,7 +184,7 @@ func TestStatsCellQuantiles(t *testing.T) {
 			return nil
 		}}
 	}
-	stats, err := Run(nil, cells)
+	stats, err := Run(context.Background(), nil, cells)
 	if err != nil {
 		t.Fatal(err)
 	}

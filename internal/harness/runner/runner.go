@@ -11,14 +11,23 @@
 // run-wide capture tracer in the same order, and the first error in cell
 // order wins — so `hetbench -jobs 32` and `-jobs 1` emit the same bytes
 // and the same trace.
+//
+// Runs are cancelable: Run and Map take a context.Context, cells observe
+// it through Ctx.Context, and cells that have not started when the
+// context is canceled are skipped with ctx.Err(). A panicking cell fails
+// with ErrCellPanic instead of killing the pool, so one bad cell degrades
+// the run rather than the process.
 package runner
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"time"
@@ -35,6 +44,11 @@ type Cell struct {
 	Run   func(cx *Ctx) error
 }
 
+// ErrCellPanic marks a cell failure caused by a recovered panic. The
+// pool survives: the panic fails only its own cell, the run is reported
+// degraded through Stats.Panics, and every other cell completes.
+var ErrCellPanic = errors.New("cell panicked")
+
 // Ctx is one cell's private execution context.
 type Ctx struct {
 	// Index is the cell's position in the experiment's cell slice — the
@@ -44,9 +58,24 @@ type Ctx struct {
 	// buffers in cell order once every cell has finished.
 	Out *bytes.Buffer
 
+	// ctx is the run's context; long-running cells poll it through
+	// Context so client disconnects and deadlines cancel in-flight work.
+	ctx context.Context
+
 	// tracer is the cell's private tracer, non-nil only while a run-wide
 	// capture is installed (the -trace flag).
 	tracer *trace.Tracer
+}
+
+// Context returns the run's context. Long-running cells should poll it
+// between phases and return its Err to honor cancellation. A nil
+// receiver or a Ctx built outside Run (direct Data calls from tests)
+// yields a background context, so cells need no nil checks.
+func (cx *Ctx) Context() context.Context {
+	if cx == nil || cx.ctx == nil {
+		return context.Background()
+	}
+	return cx.ctx
 }
 
 // Machine builds one cell-private machine. When a run-wide trace capture
@@ -125,6 +154,10 @@ func Capture() *trace.Tracer {
 type Stats struct {
 	Cells int
 	Jobs  int
+	// Panics counts cells that failed by panicking (recovered into
+	// ErrCellPanic). A non-zero count marks the run degraded: the pool
+	// survived, but some cells produced no result.
+	Panics int
 	// Wall is the pool's elapsed time; Serial is the sum of per-cell
 	// times — the serial-run estimate the speedup compares against.
 	Wall   time.Duration
@@ -161,6 +194,9 @@ func (s Stats) String() string {
 		line += fmt.Sprintf(", cell p50 %.1fms p99 %.1fms",
 			float64(s.CellQuantile(0.50))/1e6, float64(s.CellQuantile(0.99))/1e6)
 	}
+	if s.Panics > 0 {
+		line += fmt.Sprintf(", %d PANICKED", s.Panics)
+	}
 	return line
 }
 
@@ -168,6 +204,7 @@ func addTotal(s Stats) {
 	mu.Lock()
 	defer mu.Unlock()
 	total.Cells += s.Cells
+	total.Panics += s.Panics
 	total.Wall += s.Wall
 	total.Serial += s.Serial
 	if s.Jobs > total.Jobs {
@@ -192,18 +229,41 @@ func ResetStats() {
 	total = Stats{}
 }
 
+// safeRun invokes one cell with panic containment: a panic becomes an
+// ErrCellPanic-wrapped error carrying the panic value and stack, failing
+// the one cell while the rest of the pool keeps running.
+func safeRun(c Cell, cx *Ctx) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v\n%s", ErrCellPanic, r, debug.Stack())
+		}
+	}()
+	return c.Run(cx)
+}
+
 // Run executes the cells on the bounded pool and, after all of them
 // finish, replays their effects in cell order: output buffers are
 // concatenated into w (nil w discards output — the Map pattern, where
 // cells communicate through their closure), per-cell tracers fold into
 // the capture tracer, and the first error in cell order is returned.
-func Run(w io.Writer, cells []Cell) (Stats, error) {
+//
+// Cancellation is cooperative at cell granularity: once ctx is canceled,
+// cells that have not yet started are skipped and fail with ctx.Err();
+// cells already executing observe the same context through Ctx.Context.
+// Skipped cells are excluded from the Serial estimate and the per-cell
+// histogram, so stats describe only work actually performed. A nil ctx
+// is treated as context.Background().
+func Run(ctx context.Context, w io.Writer, cells []Cell) (Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	nJobs := Jobs()
 	capTracer := Capture()
 	prog := newProgTracker(Progress(), len(cells), nJobs)
 	ctxs := make([]*Ctx, len(cells))
 	errs := make([]error, len(cells))
 	durs := make([]time.Duration, len(cells))
+	ran := make([]bool, len(cells))
 	// The pool's wall-clock stats feed the -v speedup report only; every
 	// experiment result stays a function of the seed and virtual clocks.
 	start := time.Now() //hetlint:allow detnondet pool wall-clock stats are reported, never part of results
@@ -211,7 +271,7 @@ func Run(w io.Writer, cells []Cell) (Stats, error) {
 	sem := make(chan struct{}, nJobs)
 	var wg sync.WaitGroup
 	for i := range cells {
-		cx := &Ctx{Index: i, Out: &bytes.Buffer{}}
+		cx := &Ctx{Index: i, Out: &bytes.Buffer{}, ctx: ctx}
 		if capTracer != nil {
 			cx.tracer = trace.New()
 		}
@@ -222,8 +282,17 @@ func Run(w io.Writer, cells []Cell) (Stats, error) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			prog.cellStart(i, cells[i].Label)
+			if err := ctx.Err(); err != nil {
+				// Canceled before this cell started: fail it without
+				// invoking it, but still emit the progress event so the
+				// sink's tallies stay balanced.
+				errs[i] = err
+				prog.cellDone(i, cells[i].Label, 0, err)
+				return
+			}
+			ran[i] = true
 			t0 := time.Now() //hetlint:allow detnondet per-cell wall time feeds the serial-estimate stat only
-			errs[i] = cells[i].Run(cx)
+			errs[i] = safeRun(cells[i], cx)
 			durs[i] = time.Since(t0) //hetlint:allow detnondet per-cell wall time feeds the serial-estimate stat only
 			prog.cellDone(i, cells[i].Label, durs[i], errs[i])
 		}(i, cx)
@@ -231,33 +300,50 @@ func Run(w io.Writer, cells []Cell) (Stats, error) {
 	wg.Wait()
 	prog.runDone()
 	stats := Stats{Cells: len(cells), Jobs: nJobs, Wall: time.Since(start)} //hetlint:allow detnondet pool wall-clock stats are reported, never part of results
-	for _, d := range durs {
+	for i, d := range durs {
+		if !ran[i] {
+			continue
+		}
 		stats.Serial += d
 		stats.CellNs.Observe(float64(d))
+		if errors.Is(errs[i], ErrCellPanic) {
+			stats.Panics++
+		}
 	}
 	addTotal(stats)
 
+	// Replay effects in cell order. Every executed cell's tracer folds
+	// into the capture — failed cells included, whose partial spans and
+	// counters are exactly what a postmortem needs — while output is
+	// written only for the error-free prefix, so w never observes bytes
+	// from after a failure point. The first error in cell order wins.
+	var firstErr error
 	for i, cx := range ctxs {
+		if capTracer != nil && ran[i] {
+			capTracer.Fold(cx.tracer)
+		}
+		if firstErr != nil {
+			continue
+		}
 		if errs[i] != nil {
-			return stats, fmt.Errorf("runner: cell %d (%s): %w", i, cells[i].Label, errs[i])
+			firstErr = fmt.Errorf("runner: cell %d (%s): %w", i, cells[i].Label, errs[i])
+			continue
 		}
 		if w != nil {
 			if _, err := w.Write(cx.Out.Bytes()); err != nil {
-				return stats, err
+				firstErr = err
 			}
 		}
-		if capTracer != nil {
-			capTracer.Fold(cx.tracer)
-		}
 	}
-	return stats, nil
+	return stats, firstErr
 }
 
 // Map runs f over indices 0..n-1 as pool cells and returns the results
 // in index order — the shape of every Data-style sweep, where cells
-// compute values instead of rendering text. The cells must not fail;
-// Map exists for infallible measurement closures.
-func Map[T any](label string, n int, f func(cx *Ctx, i int) T) []T {
+// compute values instead of rendering text. The closures themselves are
+// infallible, but the run can still fail by cancellation or panic, in
+// which case Map returns a nil slice and the pool's first error.
+func Map[T any](ctx context.Context, label string, n int, f func(cx *Ctx, i int) T) ([]T, error) {
 	out := make([]T, n)
 	cells := make([]Cell, n)
 	for i := 0; i < n; i++ {
@@ -270,9 +356,8 @@ func Map[T any](label string, n int, f func(cx *Ctx, i int) T) []T {
 			},
 		}
 	}
-	if _, err := Run(nil, cells); err != nil {
-		// Unreachable: the cells above never return errors and w is nil.
-		panic(err)
+	if _, err := Run(ctx, nil, cells); err != nil {
+		return nil, err
 	}
-	return out
+	return out, nil
 }

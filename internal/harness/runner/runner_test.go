@@ -2,6 +2,7 @@ package runner
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -46,7 +47,7 @@ func TestRunMergesInCellOrder(t *testing.T) {
 		}}
 	}
 	var buf bytes.Buffer
-	stats, err := Run(&buf, cells)
+	stats, err := Run(context.Background(), &buf, cells)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestRunBoundsConcurrency(t *testing.T) {
 			return nil
 		}}
 	}
-	if _, err := Run(nil, cells); err != nil {
+	if _, err := Run(context.Background(), nil, cells); err != nil {
 		t.Fatal(err)
 	}
 	if p := peak.Load(); p > 3 {
@@ -104,7 +105,7 @@ func TestRunFirstErrorInCellOrder(t *testing.T) {
 		{Label: "ok", Run: func(cx *Ctx) error { return nil }},
 		{Label: "fast-fail", Run: func(cx *Ctx) error { return errB }},
 	}
-	_, err := Run(nil, cells)
+	_, err := Run(context.Background(), nil, cells)
 	if !errors.Is(err, errA) {
 		t.Fatalf("Run error = %v, want the cell-order-first %v", err, errA)
 	}
@@ -113,17 +114,173 @@ func TestRunFirstErrorInCellOrder(t *testing.T) {
 	}
 }
 
+// Regression for the error-path accounting bug: a failing cell's tracer
+// must still fold into the capture (its partial spans and counters are
+// the postmortem), and the cell still counts in Stats. The old merge
+// loop returned at the first error, dropping the failing cell's tracer
+// and every later cell's.
+func TestRunErrorCellStillFoldsTracerAndCounts(t *testing.T) {
+	withJobs(t, 2)
+	cap := trace.New()
+	SetCapture(cap)
+	defer SetCapture(nil)
+	boom := errors.New("boom")
+	cells := []Cell{
+		{Label: "ok", Run: func(cx *Ctx) error {
+			m := cx.Machine(sim.NewDGPU)
+			m.LaunchKernel(sim.OnAccelerator, "k-ok", kernelCost(1000))
+			return nil
+		}},
+		{Label: "fails-after-launch", Run: func(cx *Ctx) error {
+			m := cx.Machine(sim.NewDGPU)
+			m.LaunchKernel(sim.OnAccelerator, "k-fail", kernelCost(2000))
+			return boom
+		}},
+		{Label: "ok-after-failure", Run: func(cx *Ctx) error {
+			m := cx.Machine(sim.NewDGPU)
+			m.LaunchKernel(sim.OnAccelerator, "k-late", kernelCost(3000))
+			return nil
+		}},
+	}
+	stats, err := Run(context.Background(), nil, cells)
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want %v", err, boom)
+	}
+	if stats.Cells != 3 || stats.CellNs.Count() != 3 {
+		t.Errorf("stats = %+v, want all 3 cells counted (CellNs n=%d)", stats, stats.CellNs.Count())
+	}
+	var names []string
+	for _, sp := range cap.Spans() {
+		names = append(names, sp.Name)
+	}
+	joined := strings.Join(names, " ")
+	for _, want := range []string{"k-ok", "k-fail", "k-late"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("capture is missing spans from %q; folded spans: %v", want, names)
+		}
+	}
+}
+
+// Canceling the run context skips cells that have not started: they fail
+// with ctx.Err(), are excluded from the serial estimate, and the first
+// error in cell order reports the cancellation.
+func TestRunCancellationSkipsPendingCells(t *testing.T) {
+	withJobs(t, 1) // serialize so cancellation lands between cells
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int64
+	cells := make([]Cell, 8)
+	for i := range cells {
+		cells[i] = Cell{Label: fmt.Sprintf("cell-%d", i), Run: func(cx *Ctx) error {
+			if started.Add(1) == 2 {
+				cancel() // cancel while cell 1 is in flight
+			}
+			return nil
+		}}
+	}
+	stats, err := Run(ctx, nil, cells)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n >= 8 {
+		t.Errorf("all %d cells ran despite cancellation", n)
+	}
+	if stats.CellNs.Count() != uint64(started.Load()) {
+		t.Errorf("CellNs counted %d cells, want only the %d that ran",
+			stats.CellNs.Count(), started.Load())
+	}
+	if stats.Cells != 8 {
+		t.Errorf("stats.Cells = %d, want 8 (scheduled count)", stats.Cells)
+	}
+}
+
+// Cells observe the run context through Ctx.Context, so in-flight work
+// can return early on cancellation; nil receivers and plain Ctx values
+// degrade to a background context.
+func TestCtxContextPlumbing(t *testing.T) {
+	withJobs(t, 1)
+	type key struct{}
+	ctx := context.WithValue(context.Background(), key{}, "v")
+	var got any
+	cells := []Cell{{Run: func(cx *Ctx) error {
+		got = cx.Context().Value(key{})
+		return nil
+	}}}
+	if _, err := Run(ctx, nil, cells); err != nil {
+		t.Fatal(err)
+	}
+	if got != "v" {
+		t.Errorf("cell saw context value %v, want v", got)
+	}
+	var nilCx *Ctx
+	if nilCx.Context() == nil || (&Ctx{}).Context() == nil {
+		t.Error("nil/zero Ctx.Context() must degrade to a background context, not nil")
+	}
+}
+
+// A panicking cell fails with ErrCellPanic, marks the run degraded via
+// Stats.Panics, and leaves every other cell's result intact — the pool
+// survives its worst cell.
+func TestRunPanicRecovery(t *testing.T) {
+	withJobs(t, 4)
+	var ok atomic.Int64
+	cells := make([]Cell, 6)
+	for i := range cells {
+		i := i
+		cells[i] = Cell{Label: fmt.Sprintf("cell-%d", i), Run: func(cx *Ctx) error {
+			if i == 2 {
+				panic("injected cell panic")
+			}
+			ok.Add(1)
+			return nil
+		}}
+	}
+	stats, err := Run(context.Background(), nil, cells)
+	if !errors.Is(err, ErrCellPanic) {
+		t.Fatalf("Run error = %v, want ErrCellPanic", err)
+	}
+	if !strings.Contains(err.Error(), "injected cell panic") {
+		t.Errorf("error %q does not carry the panic value", err)
+	}
+	if stats.Panics != 1 {
+		t.Errorf("stats.Panics = %d, want 1", stats.Panics)
+	}
+	if got := ok.Load(); got != 5 {
+		t.Errorf("%d healthy cells completed, want 5 — the panic must not kill the pool", got)
+	}
+	if !strings.Contains(stats.String(), "1 PANICKED") {
+		t.Errorf("Stats.String() = %q does not flag the degraded run", stats.String())
+	}
+}
+
 // Map returns results in index order.
 func TestMapOrdersResults(t *testing.T) {
 	withJobs(t, 8)
-	got := Map("square", 20, func(cx *Ctx, i int) int {
+	got, err := Map(context.Background(), "square", 20, func(cx *Ctx, i int) int {
 		time.Sleep(time.Duration(20-i) * time.Millisecond)
 		return i * i
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, v := range got {
 		if v != i*i {
 			t.Fatalf("Map[%d] = %d, want %d", i, v, i*i)
 		}
+	}
+}
+
+// Map surfaces pool failures (a canceled context) instead of panicking.
+func TestMapReturnsPoolError(t *testing.T) {
+	withJobs(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, err := Map(ctx, "canceled", 4, func(cx *Ctx, i int) int { return i })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Map error = %v, want context.Canceled", err)
+	}
+	if got != nil {
+		t.Errorf("Map returned results %v alongside an error", got)
 	}
 }
 
@@ -157,7 +314,7 @@ func TestCaptureFoldsDeterministically(t *testing.T) {
 				return nil
 			}}
 		}
-		if _, err := Run(nil, cells); err != nil {
+		if _, err := Run(context.Background(), nil, cells); err != nil {
 			t.Fatal(err)
 		}
 		return cap.Spans(), cap.Processes(), cap.Metrics().Snapshot(), histSummary(cap.Metrics())
@@ -216,9 +373,28 @@ func TestSetJobsDefaultAndStats(t *testing.T) {
 
 	ResetStats()
 	withJobs(t, 2)
-	Run(nil, []Cell{{Run: func(cx *Ctx) error { return nil }}})
-	Run(nil, []Cell{{Run: func(cx *Ctx) error { return nil }}})
+	Run(context.Background(), nil, []Cell{{Run: func(cx *Ctx) error { return nil }}})
+	Run(context.Background(), nil, []Cell{{Run: func(cx *Ctx) error { return nil }}})
 	if tot := TotalStats(); tot.Cells != 2 {
 		t.Errorf("TotalStats().Cells = %d after two 1-cell runs", tot.Cells)
+	}
+}
+
+// CellQuantile on the empty distribution is zero for every q; with a
+// single cell, every quantile collapses to that cell's duration.
+func TestCellQuantileEmptyAndSingle(t *testing.T) {
+	var empty Stats
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if d := empty.CellQuantile(q); d != 0 {
+			t.Errorf("empty Stats.CellQuantile(%g) = %v, want 0", q, d)
+		}
+	}
+
+	var single Stats
+	single.CellNs.Observe(float64(7 * time.Millisecond))
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if d := single.CellQuantile(q); d != 7*time.Millisecond {
+			t.Errorf("single-cell CellQuantile(%g) = %v, want 7ms", q, d)
+		}
 	}
 }

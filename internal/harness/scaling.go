@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -18,7 +19,7 @@ var scalingRankCounts = []int{1, 2, 4, 8, 16, 32}
 // ScalingData strong-scales LULESH across a simulated InfiniBand cluster
 // of discrete-GPU nodes — the MPI half of the paper's MPI+X stack
 // (extension beyond the paper's single-node evaluation).
-func ScalingData(scale Scale) []lulesh.MPIXResult {
+func ScalingData(ctx context.Context, scale Scale) ([]lulesh.MPIXResult, error) {
 	cfg := lulesh.Config{S: 32, Iters: 10, FunctionalIters: 1}
 	switch scale {
 	case ScaleDefault:
@@ -28,7 +29,7 @@ func ScalingData(scale Scale) []lulesh.MPIXResult {
 	}
 	// One runner cell per cluster size: each rank-count measurement builds
 	// its own problem and machines, so the sweep scales with host cores.
-	return runner.Map("scaling", len(scalingRankCounts), func(cx *runner.Ctx, i int) lulesh.MPIXResult {
+	return runner.Map(ctx, "scaling", len(scalingRankCounts), func(cx *runner.Ctx, i int) lulesh.MPIXResult {
 		p := lulesh.NewProblem(cfg, timing.Double)
 		mk := func() *sim.Machine { return cx.Machine(sim.NewDGPU) }
 		return p.StrongScaling([]int{scalingRankCounts[i]}, mk, mpix.DefaultFabric())[0]
@@ -36,8 +37,11 @@ func ScalingData(scale Scale) []lulesh.MPIXResult {
 }
 
 // RunScaling renders the strong-scaling table.
-func RunScaling(scale Scale, w io.Writer) error {
-	results := ScalingData(scale)
+func RunScaling(ctx context.Context, scale Scale, w io.Writer) error {
+	results, err := ScalingData(ctx, scale)
+	if err != nil {
+		return err
+	}
 	sp := lulesh.Speedups(results)
 	t := report.NewTable("LULESH MPI+OpenCL strong scaling (slab decomposition, FDR-class fabric)",
 		"Ranks", "Time/run ms", "Speedup", "Efficiency", "Comm share")
@@ -48,6 +52,6 @@ func RunScaling(scale Scale, w io.Writer) error {
 			fmt.Sprintf("%.2f", r.Efficiency(results[0])),
 			fmt.Sprintf("%.1f%%", r.CommFraction()*100))
 	}
-	_, err := t.WriteTo(w)
+	_, err = t.WriteTo(w)
 	return err
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -35,9 +36,9 @@ func modelTrace(scale Scale, model modelapi.Name) ModelTrace {
 
 // TraceData runs LULESH under each GPU model on the dGPU with a fresh
 // tracer per model, so the three span sets can be compared side by side.
-func TraceData(scale Scale) []ModelTrace {
+func TraceData(ctx context.Context, scale Scale) ([]ModelTrace, error) {
 	models := modelapi.All()
-	return runner.Map("trace", len(models), func(cx *runner.Ctx, i int) ModelTrace {
+	return runner.Map(ctx, "trace", len(models), func(cx *runner.Ctx, i int) ModelTrace {
 		return modelTrace(scale, models[i])
 	})
 }
@@ -98,7 +99,7 @@ func iterationTimeline(title string, it trace.Span, spans []trace.Span) *report.
 // aggregate kernel/transfer tables and the run's counter registry. The
 // C++ AMP timeline shows the CPU-fallback kernel and the per-iteration
 // view round trips it induces dominating the step.
-func RunTrace(scale Scale, w io.Writer) error {
+func RunTrace(ctx context.Context, scale Scale, w io.Writer) error {
 	models := modelapi.All()
 	cells := make([]runner.Cell, len(models))
 	for i, model := range models {
@@ -140,7 +141,7 @@ func RunTrace(scale Scale, w io.Writer) error {
 			return nil
 		}}
 	}
-	_, err := runner.Run(w, cells)
+	_, err := runner.Run(ctx, w, cells)
 	return err
 }
 

@@ -46,7 +46,7 @@ func approxEq(a, b float64) bool {
 // induced PCIe round trips in the rendered timelines.
 func TestRunTrace(t *testing.T) {
 	var buf bytes.Buffer
-	if err := RunTrace(ScaleSmall, &buf); err != nil {
+	if err := RunTrace(bg, ScaleSmall, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -67,7 +67,7 @@ func TestRunTrace(t *testing.T) {
 // TraceData gives each model its own tracer with a full span hierarchy:
 // run → iteration → kernel/transfer.
 func TestTraceData(t *testing.T) {
-	data := TraceData(ScaleSmall)
+	data := must(TraceData(bg, ScaleSmall))
 	if len(data) != len(modelapi.All()) {
 		t.Fatalf("TraceData returned %d models", len(data))
 	}

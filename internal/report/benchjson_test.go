@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"math"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -133,5 +134,46 @@ func TestPerfDeltaGates(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("delta table missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// The time gate is strictly greater-than: a run sitting exactly at the
+// threshold passes, one epsilon above fails. Guards the boundary the CI
+// delta step depends on.
+func TestPerfDeltaExactlyAtThreshold(t *testing.T) {
+	entry := func(ns float64) *BenchFile {
+		return &BenchFile{Suite: "hotpath", Entries: []BenchEntry{
+			{Name: "edge", NsPerOp: ns, AllocsPerOp: 2},
+		}}
+	}
+	old := entry(100)
+
+	// 100 → 125 under a 0.25 gate: Ratio == 1.25 exactly, not regressed.
+	at := PerfDelta(old, entry(125), 0.25).Deltas[0]
+	if at.Ratio != 1.25 {
+		t.Fatalf("Ratio = %v, want exactly 1.25", at.Ratio)
+	}
+	if at.TimeRegressed {
+		t.Errorf("exactly-at-threshold run flagged as regressed: %+v", at)
+	}
+
+	// The next representable step over the edge regresses.
+	over := PerfDelta(old, entry(math.Nextafter(125, 126)), 0.25).Deltas[0]
+	if !over.TimeRegressed {
+		t.Errorf("epsilon over threshold not flagged: %+v", over)
+	}
+
+	// Allocs gate: equal passes, +1 fails, -1 (unmeasured) never fires.
+	same := PerfDelta(old, entry(100), 0.25).Deltas[0]
+	if same.AllocsRegressed {
+		t.Errorf("equal allocs flagged: %+v", same)
+	}
+	bump := &BenchFile{Suite: "hotpath", Entries: []BenchEntry{{Name: "edge", NsPerOp: 100, AllocsPerOp: 3}}}
+	if d := PerfDelta(old, bump, 0.25).Deltas[0]; !d.AllocsRegressed {
+		t.Errorf("alloc bump not flagged: %+v", d)
+	}
+	oldUnmeasured := &BenchFile{Suite: "hotpath", Entries: []BenchEntry{{Name: "edge", NsPerOp: 100, AllocsPerOp: -1}}}
+	if d := PerfDelta(oldUnmeasured, bump, 0.25).Deltas[0]; d.AllocsRegressed {
+		t.Errorf("unmeasured-old allocs flagged: %+v", d)
 	}
 }

@@ -1,0 +1,89 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"hetbench/internal/trace"
+)
+
+// resultCache is a byte-bounded LRU over completed clean results. The
+// determinism contract makes entries immortal in principle (same key ⇒
+// same bytes, forever), so eviction is purely about space: least
+// recently used goes first once stored output exceeds the budget.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int64
+	size  int64
+	ll    *list.List // front = most recently used; values are *cacheEntry
+	items map[string]*list.Element
+	reg   *trace.Registry
+}
+
+type cacheEntry struct {
+	key   string
+	res   *Result
+	bytes int64
+}
+
+// entryOverhead approximates per-entry bookkeeping (key copies, list
+// element, map slot) so tiny outputs still consume budget.
+const entryOverhead = 256
+
+func newResultCache(max int64, reg *trace.Registry) *resultCache {
+	return &resultCache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+		reg:   reg,
+	}
+}
+
+// get returns the cached result and marks it recently used. Callers must
+// not mutate the returned Result; Do hands out copies.
+func (c *resultCache) get(key string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put stores a clean result, evicting LRU entries to fit. A result
+// larger than the whole budget is simply not cached.
+func (c *resultCache) put(key string, res *Result) {
+	n := int64(len(res.Output)) + entryOverhead
+	if n > c.max {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// Same key ⇒ same bytes by the determinism contract; just refresh.
+		c.ll.MoveToFront(el)
+		return
+	}
+	for c.size+n > c.max {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ev := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, ev.key)
+		c.size -= ev.bytes
+		c.reg.Add(trace.CtrServiceCacheEvictions, 1)
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res, bytes: n})
+	c.size += n
+}
+
+// Len reports the number of cached results (tests and /metricz).
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}

@@ -1,0 +1,350 @@
+package chaostest
+
+import (
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"hetbench/internal/harness"
+	"hetbench/internal/service"
+	"hetbench/internal/service/client"
+	"hetbench/internal/trace"
+)
+
+// newClient builds a fast-retrying client against srv.
+func newClient(srv *Server, attempts int) *client.Client {
+	return client.New(srv.URL(), client.Config{
+		HTTP:        srv.HTTP.Client(),
+		MaxAttempts: attempts,
+		BaseBackoff: 5 * time.Millisecond,
+		MaxBackoff:  50 * time.Millisecond,
+	})
+}
+
+// waitStarted fails the test if no run starts within the deadline.
+func waitStarted(t *testing.T, g *Gate) string {
+	t.Helper()
+	select {
+	case exp := <-g.Started:
+		return exp
+	case <-time.After(5 * time.Second):
+		t.Fatal("no run started within 5s")
+		return ""
+	}
+}
+
+// waitCanceled fails the test if no run observes cancellation in time.
+func waitCanceled(t *testing.T, g *Gate) string {
+	t.Helper()
+	select {
+	case exp := <-g.Canceled:
+		return exp
+	case <-time.After(5 * time.Second):
+		t.Fatal("no run observed cancellation within 5s")
+		return ""
+	}
+}
+
+// TestMidRunCancellation injects a server-side deadline mid-run: the
+// run's context must fire inside the (gated) experiment, the request
+// must fail, and the daemon must serve the next request normally.
+func TestMidRunCancellation(t *testing.T) {
+	checkLeaks := LeakCheck(t)
+	gate := NewGate()
+	srv := NewServer(service.Options{Run: gate.Run})
+	defer checkLeaks()
+	defer srv.Close()
+	cl := newClient(srv, 1)
+	ctx := context.Background()
+
+	_, err := cl.Run(ctx, service.RunRequest{Experiment: "hung", TimeoutMs: 30})
+	if err == nil {
+		t.Fatal("deadline-bounded run of a hung experiment succeeded")
+	}
+	if got := waitCanceled(t, gate); got != "hung" {
+		t.Fatalf("canceled run = %q, want %q", got, "hung")
+	}
+
+	gate.Release(1)
+	res, err := cl.Run(ctx, service.RunRequest{Experiment: "healthy"})
+	if err != nil {
+		t.Fatalf("daemon stopped serving after a canceled run: %v", err)
+	}
+	if !strings.Contains(res.Output, "gated output for healthy") {
+		t.Fatalf("unexpected output: %q", res.Output)
+	}
+}
+
+// TestClientDisconnect cancels the client's context while its run is in
+// flight: with no other request attached, the service must cancel the
+// run itself (the context reaches the experiment), and keep serving.
+func TestClientDisconnect(t *testing.T) {
+	checkLeaks := LeakCheck(t)
+	gate := NewGate()
+	srv := NewServer(service.Options{Run: gate.Run})
+	defer checkLeaks()
+	defer srv.Close()
+	cl := newClient(srv, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := cl.Run(ctx, service.RunRequest{Experiment: "abandoned"})
+		errc <- err
+	}()
+	waitStarted(t, gate)
+	cancel() // the client walks away
+
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("client error = %v, want context.Canceled", err)
+	}
+	if got := waitCanceled(t, gate); got != "abandoned" {
+		t.Fatalf("canceled run = %q, want %q", got, "abandoned")
+	}
+
+	gate.Release(1)
+	if _, err := cl.Run(context.Background(), service.RunRequest{Experiment: "after"}); err != nil {
+		t.Fatalf("daemon stopped serving after a disconnect: %v", err)
+	}
+}
+
+// TestDedupSurvivesOneDisconnect attaches two requests to one flight and
+// disconnects the first: the run must keep going for the second.
+func TestDedupSurvivesOneDisconnect(t *testing.T) {
+	checkLeaks := LeakCheck(t)
+	gate := NewGate()
+	reg := &trace.Registry{}
+	srv := NewServer(service.Options{Run: gate.Run, Registry: reg})
+	defer checkLeaks()
+	defer srv.Close()
+	cl := newClient(srv, 1)
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	err1 := make(chan error, 1)
+	go func() {
+		_, err := cl.Run(ctx1, service.RunRequest{Experiment: "shared"})
+		err1 <- err
+	}()
+	waitStarted(t, gate)
+	// Second, identical request joins the in-flight run.
+	res2 := make(chan *service.Result, 1)
+	err2 := make(chan error, 1)
+	go func() {
+		r, err := cl.Run(context.Background(), service.RunRequest{Experiment: "shared"})
+		res2 <- r
+		err2 <- err
+	}()
+	// Wait until the service has accounted the join, then drop client 1.
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Get(trace.CtrServiceDedupJoined) < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never joined the flight")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel1()
+	if err := <-err1; !errors.Is(err, context.Canceled) {
+		t.Fatalf("first client error = %v, want context.Canceled", err)
+	}
+
+	gate.Release(1)
+	if err := <-err2; err != nil {
+		t.Fatalf("surviving client failed: %v", err)
+	}
+	if r := <-res2; !strings.Contains(r.Output, "gated output for shared") {
+		t.Fatalf("surviving client got output %q", r.Output)
+	}
+	select {
+	case exp := <-gate.Canceled:
+		t.Fatalf("run %q was canceled despite a surviving waiter", exp)
+	default:
+	}
+}
+
+// TestSlowReader drains a response at a trickle while other requests
+// proceed: a congested client must not wedge the daemon.
+func TestSlowReader(t *testing.T) {
+	checkLeaks := LeakCheck(t)
+	srv := NewServer(service.Options{Run: EchoRun})
+	defer checkLeaks()
+	defer srv.Close()
+
+	resp, err := srv.HTTP.Client().Post(srv.URL()+"/v1/run", "application/json",
+		strings.NewReader(`{"experiment":"trickle"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// While the slow read is in progress, the daemon serves others.
+	cl := newClient(srv, 1)
+	if _, err := cl.Run(context.Background(), service.RunRequest{Experiment: "other"}); err != nil {
+		t.Fatalf("daemon wedged behind a slow reader: %v", err)
+	}
+	body, err := SlowRead(resp.Body, 200*time.Microsecond, 1<<20)
+	if err != nil {
+		t.Fatalf("slow read failed: %v", err)
+	}
+	if !strings.Contains(string(body), "echo output for trickle") {
+		t.Fatalf("slow read lost the body: %q", body)
+	}
+}
+
+// TestWorkerPanic drives the real runner pool into a cell panic: the
+// request fails degraded, the healthy cells' work survives in the
+// partial output, nothing is cached, and the daemon keeps serving.
+func TestWorkerPanic(t *testing.T) {
+	checkLeaks := LeakCheck(t)
+	reg := &trace.Registry{}
+	srv := NewServer(service.Options{
+		Registry: reg,
+		Run:      dispatchRun(map[string]service.RunFunc{"explode": PanicRun}, EchoRun),
+	})
+	defer checkLeaks()
+	defer srv.Close()
+	cl := newClient(srv, 1)
+	ctx := context.Background()
+
+	_, err := cl.Run(ctx, service.RunRequest{Experiment: "explode"})
+	var se *client.StatusError
+	if !errors.As(err, &se) || se.Code != 500 {
+		t.Fatalf("panicked run returned %v, want a 500 StatusError", err)
+	}
+	if !se.Degraded {
+		t.Errorf("panicked run not marked degraded: %v", se)
+	}
+	if !strings.Contains(se.Msg, "cell panicked") {
+		t.Errorf("error does not surface the panic: %q", se.Msg)
+	}
+	if got := reg.Get(trace.CtrServiceDegraded); got != 1 {
+		t.Errorf("service.degraded = %g, want 1", got)
+	}
+
+	// The pool survived: an ordinary experiment still runs, and the
+	// degraded result was not cached (a retry of "explode" re-executes).
+	if _, err := cl.Run(ctx, service.RunRequest{Experiment: "fine"}); err != nil {
+		t.Fatalf("daemon stopped serving after a worker panic: %v", err)
+	}
+	_, _ = cl.Run(ctx, service.RunRequest{Experiment: "explode"})
+	if got := reg.Get(trace.CtrServiceCacheMisses); got != 3 {
+		t.Errorf("cache misses = %g, want 3 (degraded results must not be cached)", got)
+	}
+}
+
+// dispatchRun routes experiments to per-name run functions.
+func dispatchRun(byName map[string]service.RunFunc, fallback service.RunFunc) service.RunFunc {
+	return func(ctx context.Context, experiment string, scale harness.Scale, w io.Writer) error {
+		if f, ok := byName[experiment]; ok {
+			return f(ctx, experiment, scale, w)
+		}
+		return fallback(ctx, experiment, scale, w)
+	}
+}
+
+// TestCacheBitIdentical asserts the robustness contract the cache leans
+// on: a hit returns bytes identical to the cold run of the same key.
+func TestCacheBitIdentical(t *testing.T) {
+	checkLeaks := LeakCheck(t)
+	reg := &trace.Registry{}
+	srv := NewServer(service.Options{Run: EchoRun, Registry: reg})
+	defer checkLeaks()
+	defer srv.Close()
+	cl := newClient(srv, 1)
+	ctx := context.Background()
+
+	req := service.RunRequest{Experiment: "pinned", Scale: "smoke", Seed: 7}
+	cold, err := cl.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cached {
+		t.Fatal("first run reported cached")
+	}
+	warm, err := cl.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Fatal("second run missed the cache")
+	}
+	if warm.Output != cold.Output {
+		t.Fatalf("cache hit bytes differ from cold run:\ncold: %q\nwarm: %q", cold.Output, warm.Output)
+	}
+	if warm.Key != cold.Key || warm.Key != service.Key(req) {
+		t.Fatalf("key drift: cold %s, warm %s, computed %s", cold.Key, warm.Key, service.Key(req))
+	}
+	if hits := reg.Get(trace.CtrServiceCacheHits); hits != 1 {
+		t.Errorf("service.cache.hits = %g, want 1", hits)
+	}
+}
+
+// TestShutdownDrain closes the service while a run is in flight: the run
+// gets its grace period, completes, and new work is refused.
+func TestShutdownDrain(t *testing.T) {
+	checkLeaks := LeakCheck(t)
+	gate := NewGate()
+	srv := NewServer(service.Options{Run: gate.Run})
+	defer checkLeaks()
+	defer srv.Close()
+	cl := newClient(srv, 1)
+
+	inflight := make(chan error, 1)
+	go func() {
+		_, err := cl.Run(context.Background(), service.RunRequest{Experiment: "draining"})
+		inflight <- err
+	}()
+	waitStarted(t, gate)
+
+	closed := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		closed <- srv.Svc.Close(ctx)
+	}()
+	// Draining refuses new work (the client does not retry 503 here).
+	time.Sleep(10 * time.Millisecond)
+	if _, err := cl.Run(context.Background(), service.RunRequest{Experiment: "late"}); err == nil {
+		t.Fatal("draining daemon accepted new work")
+	}
+	gate.Release(1)
+	if err := <-inflight; err != nil {
+		t.Fatalf("in-flight run failed during drain: %v", err)
+	}
+	if err := <-closed; err != nil {
+		t.Fatalf("Close did not drain cleanly: %v", err)
+	}
+}
+
+// TestForcedDrainCancelsStragglers gives Close a deadline shorter than
+// the hung run: Close must cancel it and return the deadline error
+// rather than hanging.
+func TestForcedDrainCancelsStragglers(t *testing.T) {
+	checkLeaks := LeakCheck(t)
+	gate := NewGate()
+	srv := NewServer(service.Options{Run: gate.Run})
+	defer checkLeaks()
+	defer srv.Close()
+	cl := newClient(srv, 1)
+
+	inflight := make(chan error, 1)
+	go func() {
+		_, err := cl.Run(context.Background(), service.RunRequest{Experiment: "stuck"})
+		inflight <- err
+	}()
+	waitStarted(t, gate)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := srv.Svc.Close(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced Close = %v, want context.DeadlineExceeded", err)
+	}
+	if got := waitCanceled(t, gate); got != "stuck" {
+		t.Fatalf("canceled run = %q, want %q", got, "stuck")
+	}
+	if err := <-inflight; err == nil {
+		t.Fatal("request against a force-drained run succeeded")
+	}
+}

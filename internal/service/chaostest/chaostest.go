@@ -1,0 +1,167 @@
+// Package chaostest is the failure-injection harness for hetbenchd's
+// service core: controllable run functions (gated, panicking), a
+// goroutine-leak checker, and a slow reader — the building blocks the
+// chaos suite composes into client disconnects, mid-run cancellations,
+// worker panics and shutdown drains.
+package chaostest
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"runtime"
+	"time"
+
+	"hetbench/internal/harness"
+	"hetbench/internal/harness/runner"
+	"hetbench/internal/service"
+)
+
+// Server couples a service core with an httptest front end.
+type Server struct {
+	Svc  *service.Service
+	HTTP *httptest.Server
+}
+
+// NewServer starts a daemon with opts.
+func NewServer(opts service.Options) *Server {
+	svc := service.New(opts)
+	return &Server{Svc: svc, HTTP: httptest.NewServer(svc.Handler())}
+}
+
+// URL is the daemon's base URL.
+func (s *Server) URL() string { return s.HTTP.URL }
+
+// Close tears the server down: drain the core under a short deadline
+// (canceling stragglers), then close the HTTP layer.
+func (s *Server) Close() {
+	root := context.Background() //hetlint:allow ctxflow harness teardown has no request to inherit from
+	ctx, cancel := context.WithTimeout(root, 5*time.Second)
+	defer cancel()
+	_ = s.Svc.Close(ctx)
+	s.HTTP.CloseClientConnections()
+	s.HTTP.Close()
+}
+
+// Gate is a RunFunc whose runs block until released, reporting how each
+// one ended — the knob behind disconnect, cancellation and drain tests.
+type Gate struct {
+	// Started receives one experiment id per run that began.
+	Started chan string
+	// Canceled receives one experiment id per run that exited on ctx.
+	Canceled chan string
+	release  chan struct{}
+}
+
+// NewGate builds a gate with generous buffers.
+func NewGate() *Gate {
+	return &Gate{
+		Started:  make(chan string, 64),
+		Canceled: make(chan string, 64),
+		release:  make(chan struct{}, 64),
+	}
+}
+
+// Release lets n blocked (or future) runs complete.
+func (g *Gate) Release(n int) {
+	for i := 0; i < n; i++ {
+		g.release <- struct{}{}
+	}
+}
+
+// Run blocks until released or canceled; released runs write a
+// deterministic line so cache identity is checkable.
+func (g *Gate) Run(ctx context.Context, experiment string, scale harness.Scale, w io.Writer) error {
+	g.Started <- experiment
+	select {
+	case <-g.release:
+		fmt.Fprintf(w, "gated output for %s at scale %d\n", experiment, scale)
+		return nil
+	case <-ctx.Done():
+		g.Canceled <- experiment
+		return ctx.Err()
+	}
+}
+
+// PanicRun drives the real runner with a panicking middle cell: the
+// pool must recover, fail the run with runner.ErrCellPanic, and keep
+// the healthy cells' output.
+func PanicRun(ctx context.Context, experiment string, scale harness.Scale, w io.Writer) error {
+	cells := []runner.Cell{
+		{Label: "ok-0", Run: func(cx *runner.Ctx) error {
+			fmt.Fprintf(cx.Out, "cell 0 of %s ok\n", experiment)
+			return nil
+		}},
+		{Label: "boom", Run: func(cx *runner.Ctx) error {
+			panic("chaostest: injected worker panic")
+		}},
+		{Label: "ok-2", Run: func(cx *runner.Ctx) error {
+			fmt.Fprintf(cx.Out, "cell 2 of %s ok\n", experiment)
+			return nil
+		}},
+	}
+	_, err := runner.Run(ctx, w, cells)
+	return err
+}
+
+// EchoRun completes immediately with deterministic output — the control
+// workload for cache and bit-identity checks.
+func EchoRun(ctx context.Context, experiment string, scale harness.Scale, w io.Writer) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "echo output for %s at scale %d\nsecond line\n", experiment, scale)
+	return nil
+}
+
+// errorfer is the subset of testing.TB the leak checker needs, kept
+// structural so this package does not import testing into non-test code.
+type errorfer interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// LeakCheck snapshots the goroutine count; the returned func asserts the
+// count has returned to (near) the snapshot, polling because exiting
+// goroutines unwind asynchronously. Call it before starting a server and
+// defer the check after everything is closed.
+func LeakCheck(t errorfer) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		var now int
+		for i := 0; i < 150; i++ {
+			now = runtime.NumGoroutine()
+			if now <= before {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d before, %d after 3s of settling\n%s", before, now, buf)
+	}
+}
+
+// SlowRead drains r one byte at a time with a pause between bytes,
+// simulating a congested client; returns what was read.
+func SlowRead(r io.Reader, pause time.Duration, maxBytes int) ([]byte, error) {
+	var out []byte
+	one := make([]byte, 1)
+	for len(out) < maxBytes {
+		n, err := r.Read(one)
+		if n > 0 {
+			out = append(out, one[0])
+			time.Sleep(pause)
+		}
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

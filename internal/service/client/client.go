@@ -1,0 +1,212 @@
+// Package client is hetbenchd's retrying HTTP client: exponential
+// backoff with seeded jitter, Retry-After honored on shed load,
+// fail-fast on caller errors, and a load-generator mode that reports
+// cache-hit versus cache-miss latency quantiles.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"hetbench/internal/service"
+)
+
+// Client talks to one hetbenchd. The zero value is not usable; New
+// applies the defaults.
+type Client struct {
+	base string
+	http *http.Client
+
+	maxAttempts int
+	baseBackoff time.Duration
+	maxBackoff  time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Config tunes a Client; zero fields take defaults.
+type Config struct {
+	// HTTP overrides the transport (tests); nil uses http.DefaultClient.
+	HTTP *http.Client
+	// MaxAttempts counts the first try plus retries; <= 0 means 4.
+	MaxAttempts int
+	// BaseBackoff is the first retry's nominal delay; <= 0 means 100ms.
+	// Attempt n waits base·2ⁿ (capped by MaxBackoff) with half-width
+	// jitter, or the server's Retry-After when that is longer.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the nominal delay; <= 0 means 5s.
+	MaxBackoff time.Duration
+	// Seed feeds the jitter PRNG; 0 means 1 (deterministic by default,
+	// matching the repo's seeded-randomness discipline).
+	Seed int64
+}
+
+// New builds a client for the daemon at base (e.g. "http://localhost:8080").
+func New(base string, cfg Config) *Client {
+	if cfg.HTTP == nil {
+		cfg.HTTP = http.DefaultClient
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return &Client{
+		base:        base,
+		http:        cfg.HTTP,
+		maxAttempts: cfg.MaxAttempts,
+		baseBackoff: cfg.BaseBackoff,
+		maxBackoff:  cfg.MaxBackoff,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// StatusError is a non-2xx response the client did not retry away.
+type StatusError struct {
+	Code     int
+	Msg      string
+	Degraded bool
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.Code, e.Msg)
+}
+
+// Run submits one request, retrying shed load (429, honoring
+// Retry-After), draining daemons (503) and transport errors with
+// exponential backoff + jitter. Other 4xx fail immediately: resending a
+// request the server called malformed cannot succeed.
+func (c *Client) Run(ctx context.Context, req service.RunRequest) (*service.Result, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var last error
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, c.backoff(attempt, retryAfterOf(last))); err != nil {
+				return nil, err
+			}
+		}
+		res, retry, err := c.once(ctx, body)
+		if err == nil {
+			return res, nil
+		}
+		if !retry || ctx.Err() != nil {
+			return nil, err
+		}
+		last = err
+	}
+	return nil, fmt.Errorf("client: giving up after %d attempts: %w", c.maxAttempts, last)
+}
+
+// retryableError carries the server's Retry-After hint through the loop.
+type retryableError struct {
+	err        error
+	retryAfter time.Duration
+}
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+func retryAfterOf(err error) time.Duration {
+	var r *retryableError
+	if errors.As(err, &r) {
+		return r.retryAfter
+	}
+	return 0
+}
+
+// once performs a single attempt; retry reports whether the failure is
+// worth another try.
+func (c *Client) once(ctx context.Context, body []byte) (res *service.Result, retry bool, err error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		return nil, true, &retryableError{err: err}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, true, &retryableError{err: err}
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var out service.Result
+		if err := json.Unmarshal(data, &out); err != nil {
+			return nil, false, fmt.Errorf("client: bad response body: %w", err)
+		}
+		return &out, false, nil
+	case resp.StatusCode == http.StatusTooManyRequests,
+		resp.StatusCode == http.StatusServiceUnavailable,
+		resp.StatusCode >= 500:
+		ra, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+		return nil, true, &retryableError{
+			err:        statusError(resp.StatusCode, data),
+			retryAfter: time.Duration(ra) * time.Second,
+		}
+	default:
+		return nil, false, statusError(resp.StatusCode, data)
+	}
+}
+
+func statusError(code int, body []byte) *StatusError {
+	var e struct {
+		Error    string `json:"error"`
+		Degraded bool   `json:"degraded"`
+	}
+	_ = json.Unmarshal(body, &e)
+	if e.Error == "" {
+		e.Error = string(bytes.TrimSpace(body))
+	}
+	return &StatusError{Code: code, Msg: e.Error, Degraded: e.Degraded}
+}
+
+// backoff computes attempt n's delay: base·2ⁿ⁻¹ capped at max, jittered
+// to [d/2, d), never shorter than the server's Retry-After.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := c.baseBackoff << (attempt - 1)
+	if d > c.maxBackoff || d <= 0 {
+		d = c.maxBackoff
+	}
+	c.mu.Lock()
+	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.mu.Unlock()
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// sleep waits d or until ctx is done.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

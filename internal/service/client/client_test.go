@@ -1,0 +1,243 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hetbench/internal/service"
+)
+
+// scripted serves each handler in order, then repeats the last one.
+func scripted(t *testing.T, steps ...http.HandlerFunc) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		i := int(n.Add(1)) - 1
+		if i >= len(steps) {
+			i = len(steps) - 1
+		}
+		steps[i](w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &n
+}
+
+func ok(t *testing.T, res service.Result) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if err := json.NewEncoder(w).Encode(res); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func status(code int, body string, header map[string]string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		for k, v := range header {
+			w.Header().Set(k, v)
+		}
+		w.WriteHeader(code)
+		_, _ = w.Write([]byte(body))
+	}
+}
+
+func fastClient(srv *httptest.Server, attempts int) *Client {
+	return New(srv.URL, Config{
+		HTTP:        srv.Client(),
+		MaxAttempts: attempts,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+	})
+}
+
+func TestRunRetriesShedLoad(t *testing.T) {
+	want := service.Result{Key: "k", Experiment: "table2", Output: "fine\n"}
+	srv, calls := scripted(t,
+		status(429, `{"error":"overloaded"}`, map[string]string{"Retry-After": "0"}),
+		status(503, `{"error":"draining"}`, nil),
+		ok(t, want),
+	)
+	res, err := fastClient(srv, 4).Run(context.Background(), service.RunRequest{Experiment: "table2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != want.Output || res.Key != want.Key {
+		t.Fatalf("got %+v, want %+v", res, want)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d attempts, want 3", calls.Load())
+	}
+}
+
+func TestRunFailsFastOnCallerError(t *testing.T) {
+	srv, calls := scripted(t, status(400, `{"error":"unknown experiment"}`, nil))
+	_, err := fastClient(srv, 4).Run(context.Background(), service.RunRequest{Experiment: "nope"})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != 400 {
+		t.Fatalf("got %v, want a 400 StatusError", err)
+	}
+	if se.Msg != "unknown experiment" {
+		t.Fatalf("Msg = %q", se.Msg)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("a 400 was retried: %d attempts", calls.Load())
+	}
+}
+
+func TestRunGivesUpAfterMaxAttempts(t *testing.T) {
+	srv, calls := scripted(t, status(500, `{"error":"still broken","degraded":true}`, nil))
+	_, err := fastClient(srv, 3).Run(context.Background(), service.RunRequest{Experiment: "table2"})
+	if err == nil {
+		t.Fatal("exhausted retries reported success")
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != 500 || !se.Degraded {
+		t.Fatalf("got %v, want a degraded 500 StatusError", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d attempts, want 3", calls.Load())
+	}
+}
+
+func TestRunBackoffHonorsRetryAfter(t *testing.T) {
+	want := service.Result{Output: "done"}
+	srv, _ := scripted(t,
+		status(429, `{"error":"overloaded"}`, map[string]string{"Retry-After": "1"}),
+		ok(t, want),
+	)
+	start := time.Now()
+	res, err := fastClient(srv, 2).Run(context.Background(), service.RunRequest{Experiment: "table2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nominal jittered backoff tops out at 5ms; a full second proves the
+	// server's Retry-After won.
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("retried after %s, want >= 1s from Retry-After", elapsed)
+	}
+	if res.Output != want.Output {
+		t.Fatalf("got %q", res.Output)
+	}
+}
+
+func TestRunCancelableDuringBackoff(t *testing.T) {
+	srv, _ := scripted(t, status(429, `{"error":"overloaded"}`, map[string]string{"Retry-After": "30"}))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := fastClient(srv, 4).Run(ctx, service.RunRequest{Experiment: "table2"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %s; backoff sleep ignored ctx", elapsed)
+	}
+}
+
+func TestBackoffGrowsAndStaysBounded(t *testing.T) {
+	c := New("http://unused", Config{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond})
+	prevMax := time.Duration(0)
+	for attempt := 1; attempt <= 6; attempt++ {
+		nominal := 10 * time.Millisecond << (attempt - 1)
+		if nominal > 80*time.Millisecond || nominal <= 0 {
+			nominal = 80 * time.Millisecond
+		}
+		d := c.backoff(attempt, 0)
+		if d < nominal/2 || d >= nominal+time.Millisecond {
+			t.Fatalf("attempt %d: backoff %s outside [%s, %s)", attempt, d, nominal/2, nominal)
+		}
+		if nominal > prevMax {
+			prevMax = nominal
+		}
+	}
+	if ra := c.backoff(1, time.Second); ra != time.Second {
+		t.Fatalf("Retry-After floor ignored: %s", ra)
+	}
+}
+
+func TestLoadgenSeparatesHitsFromMisses(t *testing.T) {
+	// Emulate the daemon's cache: the first request per key misses,
+	// repeats hit, so a 2-experiment mix over 10 requests yields 2 misses.
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req service.RunRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Error(err)
+		}
+		key := service.Key(req)
+		mu.Lock()
+		cached := seen[key]
+		seen[key] = true
+		mu.Unlock()
+		_ = json.NewEncoder(w).Encode(service.Result{
+			Key: key, Experiment: req.Experiment, Cached: cached, Output: "out\n",
+		})
+	}))
+	t.Cleanup(srv.Close)
+
+	rep, err := fastClient(srv, 1).Loadgen(context.Background(), LoadgenOptions{
+		Requests:    10,
+		Concurrency: 1, // serial so hit/miss counts are exact
+		Mix: []service.RunRequest{
+			{Experiment: "a", Scale: "smoke"},
+			{Experiment: "b", Scale: "smoke"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Canceled != 0 {
+		t.Fatalf("errors=%d canceled=%d, want 0/0", rep.Errors, rep.Canceled)
+	}
+	if rep.Misses != 2 || rep.Hits != 8 {
+		t.Fatalf("hits=%d misses=%d, want 8/2", rep.Hits, rep.Misses)
+	}
+	if got := rep.HitRate(); got != 0.8 {
+		t.Fatalf("hit rate %g, want 0.8", got)
+	}
+	if rep.HitNs.Count() != 8 || rep.MissNs.Count() != 2 {
+		t.Fatalf("latency sample counts hit=%d miss=%d, want 8/2", rep.HitNs.Count(), rep.MissNs.Count())
+	}
+	var out strings.Builder
+	if _, err := rep.WriteTo(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "hit rate 80%") {
+		t.Fatalf("report missing hit rate: %q", out.String())
+	}
+}
+
+func TestLoadgenCountsChaosCancellations(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select { // slower than every chaos deadline
+		case <-time.After(5 * time.Second):
+		case <-r.Context().Done():
+			return
+		}
+	}))
+	t.Cleanup(srv.Close)
+
+	rep, err := fastClient(srv, 1).Loadgen(context.Background(), LoadgenOptions{
+		Requests:       6,
+		Concurrency:    3,
+		CancelFraction: 1,
+		CancelAfter:    time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Canceled != 6 {
+		t.Fatalf("canceled=%d, want all 6", rep.Canceled)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("chaos cancellations were misfiled as errors: %d", rep.Errors)
+	}
+}

@@ -1,0 +1,159 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"hetbench/internal/service"
+	"hetbench/internal/trace"
+)
+
+// LoadgenOptions shapes a load-generation run.
+type LoadgenOptions struct {
+	// Requests is the total request count; <= 0 means 20.
+	Requests int
+	// Concurrency is the worker count; <= 0 means 4.
+	Concurrency int
+	// Mix is the request pool workers draw from (round-robin by request
+	// index, so repeats produce cache hits); empty means one smoke-scale
+	// table2 request.
+	Mix []service.RunRequest
+	// CancelFraction injects chaos: that fraction of requests (seeded
+	// choice) carries a client-side context canceled after CancelAfter,
+	// exercising mid-run cancellation like a disconnecting client.
+	CancelFraction float64
+	// CancelAfter is the chaos requests' lifetime; <= 0 means 1ms.
+	CancelAfter time.Duration
+	// Seed drives the chaos choices; 0 means 1.
+	Seed int64
+}
+
+// LoadgenReport aggregates a run: outcome counts plus separate latency
+// distributions for cache hits and misses.
+type LoadgenReport struct {
+	Requests, Errors, Canceled int
+	Hits, Misses               int
+	HitNs, MissNs              *trace.Histogram
+}
+
+// HitRate is the fraction of successful responses served from cache.
+func (r *LoadgenReport) HitRate() float64 {
+	if r.Hits+r.Misses == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Hits+r.Misses)
+}
+
+// WriteTo renders the report as the -loadgen summary.
+func (r *LoadgenReport) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	line := func(format string, args ...any) error {
+		m, err := fmt.Fprintf(w, format, args...)
+		n += int64(m)
+		return err
+	}
+	if err := line("loadgen: %d requests, %d errors, %d canceled, hit rate %.0f%% (%d hits / %d misses)\n",
+		r.Requests, r.Errors, r.Canceled, r.HitRate()*100, r.Hits, r.Misses); err != nil {
+		return n, err
+	}
+	for _, h := range []struct {
+		label string
+		hist  *trace.Histogram
+	}{{"hit ", r.HitNs}, {"miss", r.MissNs}} {
+		if h.hist == nil || h.hist.Count() == 0 {
+			if err := line("  %s: no samples\n", h.label); err != nil {
+				return n, err
+			}
+			continue
+		}
+		if err := line("  %s: n=%d p50=%s p90=%s p99=%s max=%s\n", h.label, h.hist.Count(),
+			time.Duration(h.hist.Quantile(0.5)), time.Duration(h.hist.Quantile(0.9)),
+			time.Duration(h.hist.Quantile(0.99)), time.Duration(h.hist.Max())); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Loadgen fires opts.Requests requests at the daemon through c and
+// reports hit-vs-miss latency. Chaos cancellations count as Canceled,
+// not Errors; any other failure is an error but does not stop the run —
+// the point is to observe the daemon under sustained, partly hostile
+// load.
+func (c *Client) Loadgen(ctx context.Context, opts LoadgenOptions) (*LoadgenReport, error) {
+	if opts.Requests <= 0 {
+		opts.Requests = 20
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 4
+	}
+	if opts.CancelAfter <= 0 {
+		opts.CancelAfter = time.Millisecond
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if len(opts.Mix) == 0 {
+		opts.Mix = []service.RunRequest{{Experiment: "table2", Scale: "smoke"}}
+	}
+	// Chaos assignment is decided up front from the seed so the workload
+	// shape does not depend on goroutine interleaving.
+	rng := rand.New(rand.NewSource(opts.Seed))
+	chaotic := make([]bool, opts.Requests)
+	for i := range chaotic {
+		chaotic[i] = rng.Float64() < opts.CancelFraction
+	}
+
+	rep := &LoadgenReport{Requests: opts.Requests, HitNs: &trace.Histogram{}, MissNs: &trace.Histogram{}}
+	var mu sync.Mutex
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				req := opts.Mix[i%len(opts.Mix)]
+				rctx, cancel := ctx, context.CancelFunc(func() {})
+				if chaotic[i] {
+					rctx, cancel = context.WithTimeout(ctx, opts.CancelAfter)
+				}
+				start := time.Now() //hetlint:allow detnondet loadgen measures real service latency, never experiment output
+				res, err := c.Run(rctx, req)
+				dur := time.Since(start) //hetlint:allow detnondet loadgen measures real service latency, never experiment output
+				cancel()
+				mu.Lock()
+				switch {
+				case err == nil && res.Cached:
+					rep.Hits++
+					rep.HitNs.Observe(float64(dur))
+				case err == nil:
+					rep.Misses++
+					rep.MissNs.Observe(float64(dur))
+				case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+					rep.Canceled++
+				default:
+					rep.Errors++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < opts.Requests; i++ {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			close(next)
+			wg.Wait()
+			return rep, ctx.Err()
+		}
+	}
+	close(next)
+	wg.Wait()
+	return rep, nil
+}

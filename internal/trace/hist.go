@@ -25,6 +25,11 @@ const (
 	// keeps it in its Stats rather than in any merged capture registry —
 	// the name exists so progress events and stats lines share one label.
 	HistCellNs = "hist.runner.cell.ns"
+	// HistServiceRequestNs is hetbenchd's end-to-end request latency
+	// distribution (wall-clock, admission through response), published to
+	// the service's own registry — never to an experiment capture, so it
+	// cannot perturb golden output.
+	HistServiceRequestNs = "hist.service.request.ns"
 )
 
 // Histogram bucket layout: log-linear buckets in the HDR-histogram

@@ -46,6 +46,20 @@ const (
 	CtrSchedAccelNs     = "sched.accel.ns"     // accelerator queue busy time
 	CtrSchedImbalanceNs = "sched.imbalance.ns" // |host busy - accel busy| per split
 	CtrSchedMigrated    = "sched.migrated"     // chunks migrated host-ward on device loss
+
+	// Service-plane counters (see internal/service): hetbenchd publishes
+	// these to its own registry, one increment per request-path event, so
+	// /metricz exposes admission, cache and failure behavior without
+	// touching any experiment capture.
+	CtrServiceRequests       = "service.requests"        // requests admitted to Do
+	CtrServiceCacheHits      = "service.cache.hits"      // served from the result cache
+	CtrServiceCacheMisses    = "service.cache.misses"    // led a fresh run
+	CtrServiceCacheEvictions = "service.cache.evictions" // entries dropped for space
+	CtrServiceDedupJoined    = "service.dedup.joined"    // joined an identical in-flight run
+	CtrServiceShed           = "service.shed"            // rejected 429 by the admission queue
+	CtrServiceCanceled       = "service.canceled"        // abandoned by their client first
+	CtrServiceErrors         = "service.errors"          // runs that returned an error
+	CtrServiceDegraded       = "service.degraded"        // runs degraded by a cell panic
 )
 
 // CtrFaultPrefix prefixes the per-kind injected-fault counters.
