@@ -80,12 +80,14 @@ func TestRunExpListSortedAndStable(t *testing.T) {
 	if !sort.StringsAreSorted(ids) {
 		t.Errorf("-exp list ids not sorted: %v", ids)
 	}
-	found := false
-	for _, id := range ids {
-		found = found || id == "coexec"
-	}
-	if !found {
-		t.Errorf("-exp list ids missing coexec: %v", ids)
+	for _, want := range []string{"coexec", "fleet"} {
+		found := false
+		for _, id := range ids {
+			found = found || id == want
+		}
+		if !found {
+			t.Errorf("-exp list ids missing %s: %v", want, ids)
+		}
 	}
 }
 
@@ -133,5 +135,26 @@ func TestRunCoexecSeedDeterminism(t *testing.T) {
 	}
 	if render() != render() {
 		t.Fatal("two -seed 1 coexec runs produced different output")
+	}
+}
+
+// The fleet sweep's determinism contract: arrival traces, placement and
+// fault streams all derive from -seed, so equal seeds give bit-identical
+// output and different seeds diverge (CI diffs the same pair of runs).
+func TestRunFleetSeedDeterminism(t *testing.T) {
+	render := func(seed string) string {
+		var stdout, stderr bytes.Buffer
+		args := []string{"-exp", "fleet", "-scale", "smoke", "-seed", seed}
+		if code := run(context.Background(), args, &stdout, &stderr); code != 0 {
+			t.Fatalf("run(%v) = %d, stderr: %s", args, code, stderr.String())
+		}
+		return stdout.String()
+	}
+	a, b := render("1"), render("1")
+	if a != b {
+		t.Fatal("two -seed 1 fleet runs produced different output")
+	}
+	if render("3") == a {
+		t.Fatal("-seed 3 reproduced -seed 1's output exactly")
 	}
 }

@@ -18,6 +18,10 @@
 //	                  Chrome-trace and CSV exporters
 //	internal/fault    deterministic fault injector + recovery layers
 //	internal/sched    CPU+accelerator co-execution scheduler
+//	internal/fleet    cluster-scale simulation: mixed APU/dGPU node
+//	                  fleets under seeded arrival traces (poisson,
+//	                  bursty), static/dynamic/hguided placement,
+//	                  device-loss migration, tail-latency histograms
 //	internal/harness  one Experiment per table/figure/ablation/extension
 //	internal/harness/runner
 //	                  bounded worker pool: cell-order-deterministic merge,
@@ -38,10 +42,12 @@
 //	cmd/hetbench      the experiment driver (-exp, -jobs, -trace, -metrics,
 //	                  -progress, -bench-out, -bench-delta)
 //	cmd/hetbenchd     the HTTP/JSON simulation daemon
-//	cmd/hetbenchctl   its client: single runs, -loadgen, -metricz
+//	cmd/hetbenchctl   its client: single runs, -loadgen (closed-loop or
+//	                  fleet-trace -arrivals replay), -metricz
 //	cmd/hetlint       the static-analysis driver
 //
-// Perf baselines BENCH_hotpath.json and BENCH_runner.json live at the
-// repo root; bench_test.go regenerates the hotpath suite when
-// HETBENCH_BENCH_OUT is set.
+// Perf baselines BENCH_hotpath.json, BENCH_runner.json and
+// BENCH_service.json live at the repo root; bench_test.go regenerates
+// the hotpath suite when HETBENCH_BENCH_OUT is set, and the service
+// suite comes from `hetbenchctl -loadgen -arrivals poisson -bench-out`.
 package hetbench

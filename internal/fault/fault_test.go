@@ -206,3 +206,24 @@ func TestCorruptor(t *testing.T) {
 		t.Fatal("re-bound slice was not the corruption target")
 	}
 }
+
+// SubSeed must be pure, spread adjacent (parent, stream) pairs apart, and
+// never return the zero "use the default" sentinel.
+func TestSubSeed(t *testing.T) {
+	if SubSeed(42, 7) != SubSeed(42, 7) {
+		t.Fatal("SubSeed is not deterministic")
+	}
+	seen := make(map[int64]struct{})
+	for parent := int64(0); parent < 4; parent++ {
+		for stream := int64(0); stream < 256; stream++ {
+			s := SubSeed(parent, stream)
+			if s == 0 {
+				t.Fatalf("SubSeed(%d, %d) = 0", parent, stream)
+			}
+			if _, dup := seen[s]; dup {
+				t.Fatalf("SubSeed(%d, %d) collides with an earlier pair", parent, stream)
+			}
+			seen[s] = struct{}{}
+		}
+	}
+}

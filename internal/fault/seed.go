@@ -1,0 +1,23 @@
+package fault
+
+// SubSeed derives the stream-th child seed from a parent seed with a
+// splitmix64 finalization step, so subsystems that need many independent
+// deterministic PRNG streams (one injector per fleet node, one generator
+// per trace) can spread one run-wide seed without the streams aliasing:
+// adjacent parents and adjacent streams land far apart in seed space.
+// SubSeed is a pure function — equal (parent, stream) pairs always give
+// the same child — and never returns 0, so the result is safe to use
+// where a zero seed means "default".
+func SubSeed(parent, stream int64) int64 {
+	z := uint64(parent)*0x9e3779b97f4a7c15 + uint64(stream)*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	s := int64(z)
+	if s == 0 {
+		return 1
+	}
+	return s
+}

@@ -1,0 +1,121 @@
+package fleet
+
+import (
+	"fmt"
+
+	"hetbench/internal/sched"
+)
+
+// balancer decides which node accepts a job. place returns nil when no
+// node is eligible (caller sheds or reroutes). Implementations must be
+// deterministic: equal cluster state and job always yield the same node,
+// with ties broken toward the lower node ID.
+type balancer interface {
+	place(t float64, j Job, c *Cluster) *Node
+}
+
+// newBalancer maps the shared scheduling policy enum onto its
+// cluster-granularity implementation.
+func newBalancer(p sched.Policy, nodes []*Node) balancer {
+	switch p {
+	case sched.Static:
+		rates := make([]float64, len(nodes))
+		for i, n := range nodes {
+			rates[i] = n.baseRate
+		}
+		return &staticBalancer{
+			shares: sched.Shares(rates),
+			credit: make([]float64, len(nodes)),
+		}
+	case sched.Dynamic:
+		return dynamicBalancer{}
+	case sched.HGuided:
+		return hguidedBalancer{}
+	default:
+		panic(fmt.Sprintf("fleet: unknown policy %v", p))
+	}
+}
+
+// staticBalancer is weighted round-robin: the cluster-scale analogue of
+// the static partitioner's fixed split. Each node earns credit at its
+// sched.Shares-proportional rate and the most-credited eligible node
+// takes the job — so over a long trace, node i serves share[i] of the
+// stream regardless of how well that matches the actual job costs
+// (exactly the static policy's failure mode the experiments expose).
+type staticBalancer struct {
+	shares []float64
+	credit []float64
+}
+
+func (b *staticBalancer) place(t float64, j Job, c *Cluster) *Node {
+	for i, s := range b.shares {
+		b.credit[i] += s
+	}
+	var best *Node
+	for i, n := range c.nodes {
+		if !c.eligible(n, t) {
+			continue
+		}
+		if best == nil || b.credit[i] > b.credit[best.ID] {
+			best = n
+		}
+	}
+	if best != nil {
+		b.credit[best.ID] -= 1
+	}
+	return best
+}
+
+// dynamicBalancer is least-loaded placement: the job goes to the
+// eligible node with the earliest predicted finish, where the prediction
+// is the node's queue drain time plus the job's analytic service time on
+// that node — the cluster-scale analogue of the dynamic policy's
+// "whichever queue frees first" chunk assignment.
+type dynamicBalancer struct{}
+
+func (dynamicBalancer) place(t float64, j Job, c *Cluster) *Node {
+	var best *Node
+	bestDone := 0.0
+	for _, n := range c.nodes {
+		if !c.eligible(n, t) {
+			continue
+		}
+		start := t
+		if n.availNs > start {
+			start = n.availNs
+		}
+		done := start + c.serviceNs(n, j)
+		if best == nil || done < bestDone {
+			best, bestDone = n, done
+		}
+	}
+	return best
+}
+
+// hguidedBalancer is feedback-guided placement: like dynamic, but the
+// service-time prediction uses the node's learned EWMA throughput
+// instead of the analytic model, so the balancer adapts when a node's
+// delivered rate drifts from nominal (e.g. a queue full of oversized
+// irregular jobs). The in-machine HGuided policy shrinks chunks using
+// rate-proportional shares; at cluster granularity the same learned
+// rates steer whole jobs.
+type hguidedBalancer struct{}
+
+func (hguidedBalancer) place(t float64, j Job, c *Cluster) *Node {
+	var best *Node
+	bestDone := 0.0
+	for _, n := range c.nodes {
+		if !c.eligible(n, t) {
+			continue
+		}
+		start := t
+		if n.availNs > start {
+			start = n.availNs
+		}
+		done := start + float64(j.Items)/n.ewmaRate
+		if best == nil || done < bestDone {
+			best, bestDone = n, done
+		}
+	}
+	return best
+}

@@ -1,0 +1,39 @@
+// Package fleet simulates a cluster of heterogeneous nodes — mixed APU
+// and dGPU machines, each wrapping the single-machine roofline simulator
+// in internal/sim — fed by deterministic, seedable job-arrival traces.
+//
+// The package is the cluster-granularity analogue of internal/sched: where
+// the co-execution scheduler carves one kernel launch between the two
+// devices inside a machine, the fleet balancer places whole jobs across
+// hundreds-to-thousands of machines. The same three policies apply, and
+// the static balancer reuses sched.Shares, the exact proportional-split
+// rule the in-machine partitioner runs on:
+//
+//   - Static: weighted round-robin by each node's roofline rate on a
+//     reference kernel (the cluster-scale static partition).
+//   - Dynamic: least-loaded — each job goes to the node with the earliest
+//     predicted finish, computed from the analytic service time.
+//   - HGuided: like Dynamic but predictions use per-node throughput
+//     learned online from completed jobs (an EWMA), so the balancer adapts
+//     when a node's effective speed drifts from its nominal rate.
+//
+// Arrivals come from open-loop generators (Generate): a Poisson process
+// or a bursty ON-OFF modulated Poisson process, both pure functions of a
+// TraceSpec. Each node serves its bounded FIFO queue in virtual time;
+// service times come from the node's own timing model, so an APU and a
+// dGPU disagree about the same job exactly as the single-machine
+// experiments say they should (the dGPU additionally pays PCIe staging).
+//
+// Faults: each node carries its own fault.Injector (seeded with
+// fault.SubSeed so streams never alias). A device-loss window makes the
+// node ineligible until it ends and evicts every queued and in-flight
+// job; evicted jobs migrate to surviving nodes — paying a rebooking
+// penalty and abandoning any partially-completed service — but are never
+// shed, generalizing the chunk-migration path inside internal/sched.
+//
+// Outputs are tail-latency-first: per-job queue-wait and sojourn
+// histograms (hist.fleet.queue.ns, hist.fleet.job.ns) with p50/p95/p99,
+// plus per-node utilization and the fleet.* counters in the trace
+// registry. Everything is virtual time and seeded pseudo-randomness, so
+// a Run is bit-reproducible for a given (Config, trace) pair.
+package fleet

@@ -1,0 +1,269 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"hetbench/internal/fault"
+	"hetbench/internal/sched"
+	"hetbench/internal/sim/timing"
+)
+
+// Class buckets jobs by the kernel family they run, mirroring the
+// workload classes the single-machine experiments sweep: bandwidth-bound
+// streaming, flop-bound compute, and divergent gather/scatter kernels.
+type Class int
+
+const (
+	// ClassStream is a memory-bound streaming kernel (read-benchmark
+	// shaped): long contiguous loads, almost no reuse.
+	ClassStream Class = iota
+	// ClassCompute is a flop-bound kernel (NBody shaped): high arithmetic
+	// intensity, cache-friendly traffic.
+	ClassCompute
+	// ClassIrregular is a divergent gather kernel: scattered accesses
+	// (poor coalescing) and derated vector efficiency.
+	ClassIrregular
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassStream:
+		return "stream"
+	case ClassCompute:
+		return "compute"
+	case ClassIrregular:
+		return "irregular"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// classBaseItems is each class's nominal work size before the per-job
+// size multiplier; sizes differ so the job mix exercises both
+// under-occupied and saturated nodes.
+var classBaseItems = [...]int{
+	ClassStream:    1 << 15,
+	ClassCompute:   1 << 14,
+	ClassIrregular: 1 << 13,
+}
+
+// Cost returns the job's kernel cost: the class's per-item work shape at
+// the job's item count. Pure, so every layer (placement prediction,
+// booking, reporting) prices the same job identically.
+func (j Job) Cost() timing.KernelCost {
+	switch j.Class {
+	case ClassCompute:
+		return timing.KernelCost{
+			Items: j.Items, SPFlops: 32768, LoadBytes: 32, StoreBytes: 8,
+			Instrs: 8200, MissRate: 0.2, Coalesce: 1, VecEff: 1,
+		}
+	case ClassIrregular:
+		return timing.KernelCost{
+			Items: j.Items, SPFlops: 256, LoadBytes: 96, StoreBytes: 32,
+			Instrs: 400, MissRate: 0.7, Coalesce: 0.25, VecEff: 0.8,
+		}
+	default: // ClassStream
+		return timing.KernelCost{
+			Items: j.Items, SPFlops: 64, LoadBytes: 512, StoreBytes: 8,
+			Instrs: 132, MissRate: 0.9, Coalesce: 1, VecEff: 1,
+		}
+	}
+}
+
+// Job is one unit of cluster work: a kernel launch request arriving at a
+// point in virtual time.
+type Job struct {
+	// ID is the job's position in its trace (0-based, arrival order).
+	ID int
+	// ArriveNs is the arrival time in virtual nanoseconds from trace start.
+	ArriveNs float64
+	// Class selects the kernel family (see Cost).
+	Class Class
+	// Items is the launch's global work size, wavefront-aligned.
+	Items int
+}
+
+// Shape selects the arrival process of a trace.
+type Shape int
+
+const (
+	// Poisson is an open-loop memoryless arrival process at the spec's
+	// mean rate: exponential interarrivals, no correlation.
+	Poisson Shape = iota
+	// Bursty is an ON-OFF modulated Poisson process: exponential ON
+	// windows arriving at burstFactor times the mean rate, separated by
+	// exponential OFF windows sized so the long-run rate matches the
+	// spec. Same mean load as Poisson, much heavier queueing tail.
+	Bursty
+)
+
+// String names the shape.
+func (s Shape) String() string {
+	switch s {
+	case Poisson:
+		return "poisson"
+	case Bursty:
+		return "bursty"
+	}
+	return fmt.Sprintf("Shape(%d)", int(s))
+}
+
+// ParseShape parses a Shape name as written by String.
+func ParseShape(s string) (Shape, error) {
+	switch s {
+	case "poisson":
+		return Poisson, nil
+	case "bursty":
+		return Bursty, nil
+	}
+	return 0, fmt.Errorf("fleet: unknown trace shape %q (want poisson or bursty)", s)
+}
+
+// burstFactor is the ON-window rate multiplier of the bursty shape; the
+// OFF windows are sized (factor-1)× the ON windows so the long-run mean
+// rate is unchanged.
+const burstFactor = 4
+
+// burstMeanOnJobs sizes the expected number of arrivals inside one ON
+// window; with the OFF window this fixes the burst period.
+const burstMeanOnJobs = 32
+
+// JobMix weights the three job classes; Generate normalizes the weights
+// with sched.Shares, so only ratios matter. The zero value means equal
+// weights.
+type JobMix struct {
+	Stream, Compute, Irregular float64
+}
+
+// classShares normalizes the mix into per-class probabilities.
+func (m JobMix) classShares() []float64 {
+	return sched.Shares([]float64{m.Stream, m.Compute, m.Irregular})
+}
+
+// TraceSpec parameterizes one deterministic arrival trace.
+type TraceSpec struct {
+	// Shape selects the arrival process.
+	Shape Shape
+	// Jobs is the trace length.
+	Jobs int
+	// RatePerSec is the long-run mean arrival rate in jobs per second of
+	// virtual time.
+	RatePerSec float64
+	// Mix weights the job classes (zero value: all streaming).
+	Mix JobMix
+	// Seed seeds the trace's private PRNG stream. Equal specs generate
+	// equal traces on every platform and at any concurrency.
+	Seed int64
+}
+
+// Validate reports an unusable spec.
+func (s TraceSpec) Validate() error {
+	switch {
+	case s.Jobs < 0:
+		return fmt.Errorf("fleet: trace Jobs %d must be non-negative", s.Jobs)
+	case !(s.RatePerSec > 0) && s.Jobs > 0: // NaN-safe
+		return fmt.Errorf("fleet: trace RatePerSec %g must be positive", s.RatePerSec)
+	case s.Shape != Poisson && s.Shape != Bursty:
+		return fmt.Errorf("fleet: unknown trace shape %d", int(s.Shape))
+	}
+	return nil
+}
+
+// wavefront aligns job sizes to whole wavefronts, matching the alignment
+// guarantee of the in-machine scheduler's chunking.
+const wavefront = 64
+
+// maxJobItems caps the size multiplier's lognormal tail so one outlier
+// job cannot dominate a whole trace.
+const maxJobItems = 1 << 20
+
+// Generate materializes the trace: spec.Jobs jobs in non-decreasing
+// arrival order. It is a pure function of the spec — a private PRNG
+// stream is derived from the seed with fault.SubSeed, every draw happens
+// in one fixed sequence, and no global state is touched — so concurrent
+// generators are race-free and bit-identical to serial ones.
+func Generate(spec TraceSpec) []Job {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(fault.SubSeed(spec.Seed, traceStream)))
+	jobs := make([]Job, 0, spec.Jobs)
+	shares := spec.Mix.classShares()
+	rateNs := spec.RatePerSec / 1e9 // arrivals per virtual ns
+
+	emit := func(t float64) {
+		j := Job{ID: len(jobs), ArriveNs: t}
+		// Class: one uniform draw against the cumulative mix.
+		u := rng.Float64()
+		acc := 0.0
+		for ci, w := range shares {
+			acc += w
+			if u < acc {
+				j.Class = Class(ci)
+				break
+			}
+		}
+		// Size: lognormal multiplier around the class base, aligned to
+		// whole wavefronts and capped.
+		mult := math.Exp(0.5 * rng.NormFloat64())
+		items := int(float64(classBaseItems[j.Class])*mult + 0.5)
+		items = (items + wavefront - 1) / wavefront * wavefront
+		if items < wavefront {
+			items = wavefront
+		}
+		if items > maxJobItems {
+			items = maxJobItems
+		}
+		j.Items = items
+		jobs = append(jobs, j)
+	}
+
+	switch spec.Shape {
+	case Bursty:
+		onRate := rateNs * burstFactor
+		meanOnNs := burstMeanOnJobs / onRate
+		meanOffNs := meanOnNs * (burstFactor - 1)
+		t := rng.ExpFloat64() * meanOffNs // open in an OFF window
+		for len(jobs) < spec.Jobs {
+			end := t + rng.ExpFloat64()*meanOnNs
+			for len(jobs) < spec.Jobs {
+				t += rng.ExpFloat64() / onRate
+				if t >= end {
+					break
+				}
+				emit(t)
+			}
+			t = end + rng.ExpFloat64()*meanOffNs
+		}
+	default: // Poisson
+		t := 0.0
+		for len(jobs) < spec.Jobs {
+			t += rng.ExpFloat64() / rateNs
+			emit(t)
+		}
+	}
+	return jobs
+}
+
+// traceStream is the SubSeed stream id reserved for trace generation, so
+// a trace and a same-seeded cluster draw from unrelated PRNG sequences.
+// Node injectors use streams 1..n (see New).
+const traceStream = -1
+
+// ArrivalOffsets converts the spec's trace into wall-clock dispatch
+// offsets for a live load generator: job i should be sent ArrivalOffsets[i]
+// after the run starts. Virtual nanoseconds map 1:1 onto wall
+// nanoseconds, so RatePerSec becomes real requests per second and the
+// same seed that drove a simulation replays the same arrival process
+// against a running hetbenchd.
+func ArrivalOffsets(spec TraceSpec) []time.Duration {
+	jobs := Generate(spec)
+	out := make([]time.Duration, len(jobs))
+	for i, j := range jobs {
+		out[i] = time.Duration(j.ArriveNs)
+	}
+	return out
+}

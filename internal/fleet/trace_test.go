@@ -1,0 +1,165 @@
+package fleet
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func testSpec(shape Shape) TraceSpec {
+	return TraceSpec{
+		Shape:      shape,
+		Jobs:       4000,
+		RatePerSec: 2e5,
+		Mix:        JobMix{Stream: 2, Compute: 1, Irregular: 1},
+		Seed:       42,
+	}
+}
+
+// Equal specs generate equal traces; different seeds diverge.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, shape := range []Shape{Poisson, Bursty} {
+		a := Generate(testSpec(shape))
+		b := Generate(testSpec(shape))
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%v: equal specs generated different traces", shape)
+		}
+		other := testSpec(shape)
+		other.Seed = 43
+		if reflect.DeepEqual(a, Generate(other)) {
+			t.Errorf("%v: different seeds generated identical traces", shape)
+		}
+	}
+}
+
+// Concurrent generators must be race-free and bit-identical to a serial
+// one — the contract that lets runner cells regenerate a shared trace
+// instead of synchronizing on one copy. Run under -race.
+func TestGenerateParallelMatchesSerial(t *testing.T) {
+	for _, shape := range []Shape{Poisson, Bursty} {
+		want := Generate(testSpec(shape))
+		const workers = 8
+		got := make([][]Job, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				got[w] = Generate(testSpec(shape))
+			}(w)
+		}
+		wg.Wait()
+		for w, trace := range got {
+			if !reflect.DeepEqual(trace, want) {
+				t.Errorf("%v: worker %d trace differs from serial generation", shape, w)
+			}
+		}
+	}
+}
+
+// Traces must respect the spec: length, ordering, alignment, class mix
+// and (approximately) the requested mean rate for both shapes.
+func TestGenerateShape(t *testing.T) {
+	for _, shape := range []Shape{Poisson, Bursty} {
+		spec := testSpec(shape)
+		jobs := Generate(spec)
+		if len(jobs) != spec.Jobs {
+			t.Fatalf("%v: generated %d jobs, want %d", shape, len(jobs), spec.Jobs)
+		}
+		counts := map[Class]int{}
+		prev := 0.0
+		for i, j := range jobs {
+			if j.ID != i {
+				t.Fatalf("%v: job %d has ID %d", shape, i, j.ID)
+			}
+			if j.ArriveNs < prev {
+				t.Fatalf("%v: job %d arrives at %g before predecessor at %g", shape, i, j.ArriveNs, prev)
+			}
+			prev = j.ArriveNs
+			if j.Items < wavefront || j.Items%wavefront != 0 || j.Items > maxJobItems {
+				t.Fatalf("%v: job %d has unaligned size %d", shape, i, j.Items)
+			}
+			counts[j.Class]++
+		}
+		// Mean rate within 15% of the spec (both shapes share the long-run rate).
+		span := jobs[len(jobs)-1].ArriveNs
+		rate := float64(len(jobs)) / span * 1e9
+		if math.Abs(rate-spec.RatePerSec)/spec.RatePerSec > 0.15 {
+			t.Errorf("%v: achieved rate %.0f/s, want ~%.0f/s", shape, rate, spec.RatePerSec)
+		}
+		// Mix 2:1:1 within loose bounds.
+		if counts[ClassStream] < counts[ClassCompute] || counts[ClassStream] < counts[ClassIrregular] {
+			t.Errorf("%v: class counts %v do not reflect the 2:1:1 mix", shape, counts)
+		}
+		for c, n := range counts {
+			if n == 0 {
+				t.Errorf("%v: class %v never generated", shape, c)
+			}
+		}
+	}
+}
+
+// Bursty traces concentrate arrivals: the maximum arrivals seen in any
+// short window should clearly exceed Poisson's under the same mean rate.
+func TestBurstyIsBurstier(t *testing.T) {
+	window := 1e9 / testSpec(Poisson).RatePerSec * 8 // ~8 mean interarrivals
+	peak := func(jobs []Job) int {
+		best, lo := 0, 0
+		for hi := range jobs {
+			for jobs[hi].ArriveNs-jobs[lo].ArriveNs > window {
+				lo++
+			}
+			if n := hi - lo + 1; n > best {
+				best = n
+			}
+		}
+		return best
+	}
+	pp := peak(Generate(testSpec(Poisson)))
+	bp := peak(Generate(testSpec(Bursty)))
+	if bp <= pp {
+		t.Errorf("bursty peak %d jobs/window not above poisson peak %d", bp, pp)
+	}
+}
+
+func TestParseShape(t *testing.T) {
+	for _, shape := range []Shape{Poisson, Bursty} {
+		got, err := ParseShape(shape.String())
+		if err != nil || got != shape {
+			t.Errorf("ParseShape(%q) = %v, %v", shape.String(), got, err)
+		}
+	}
+	if _, err := ParseShape("diurnal"); err == nil {
+		t.Error("ParseShape accepted an unknown shape")
+	}
+}
+
+// ArrivalOffsets must replay the exact virtual trace as wall offsets.
+func TestArrivalOffsets(t *testing.T) {
+	spec := testSpec(Poisson)
+	spec.Jobs = 100
+	jobs := Generate(spec)
+	offs := ArrivalOffsets(spec)
+	if len(offs) != len(jobs) {
+		t.Fatalf("got %d offsets, want %d", len(offs), len(jobs))
+	}
+	for i := range offs {
+		if float64(offs[i]) != math.Trunc(jobs[i].ArriveNs) {
+			t.Fatalf("offset %d = %v, want %g ns", i, offs[i], jobs[i].ArriveNs)
+		}
+	}
+}
+
+func TestTraceSpecValidate(t *testing.T) {
+	for _, bad := range []TraceSpec{
+		{Shape: Poisson, Jobs: -1, RatePerSec: 1},
+		{Shape: Poisson, Jobs: 10},
+		{Shape: Shape(9), Jobs: 10, RatePerSec: 1},
+		{Shape: Poisson, Jobs: 10, RatePerSec: math.NaN()},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", bad)
+		}
+	}
+}

@@ -275,6 +275,8 @@ func Registry() map[string]Experiment {
 			"readmem, LULESH and miniFE split across host CPU and accelerator on both machines under static, dynamic and HGuided partitioning, vs the accelerator alone", RunCoexec},
 		{"perfbaseline", "Extension: perf baseline and latency distributions",
 			"per-app kernel/transfer latency quantiles plus fault-recovery and chunk-service distributions; the runner workout behind BENCH_runner.json (-bench-out)", RunPerfBaseline},
+		{"fleet", "Extension: cluster-scale fleet simulation",
+			"fleets of mixed APU/dGPU nodes under seeded arrival traces: arrival rate × placement policy × fleet mix with p50/p95/p99 tail latency, node utilization and device-loss migration", RunFleet},
 	}
 	m := make(map[string]Experiment, len(exps))
 	for _, e := range exps {
@@ -296,7 +298,7 @@ func IDs() []string {
 // RunAll executes every experiment in order, stopping at the first
 // failure or once ctx is canceled.
 func RunAll(ctx context.Context, scale Scale, w io.Writer) error {
-	order := []string{"table1", "table2", "table3", "table4", "fig7", "fig8", "fig9", "fig10", "fig11", "hc", "tiles", "dataregion", "gridtype", "scaling", "profile", "roofline", "energy", "trace", "faults", "coexec", "perfbaseline"}
+	order := []string{"table1", "table2", "table3", "table4", "fig7", "fig8", "fig9", "fig10", "fig11", "hc", "tiles", "dataregion", "gridtype", "scaling", "profile", "roofline", "energy", "trace", "faults", "coexec", "perfbaseline", "fleet"}
 	reg := Registry()
 	for _, id := range order {
 		if err := ctx.Err(); err != nil {

@@ -121,6 +121,36 @@ func (c Config) Validate() error {
 // bookkeeping stays negligible.
 const defaultChunks = 12
 
+// Shares normalizes device throughput rates into proportional work
+// shares summing to 1 — the static-partitioning rule shared by every
+// placement layer in the repo: the coexec scheduler's two-device split
+// below and internal/fleet's cluster-granularity static balancer. A
+// non-positive or NaN rate earns a zero share; if no rate is positive
+// the shares are uniform, so a caller can always treat the result as a
+// probability vector. The computation is pure float arithmetic in slice
+// order, hence bit-deterministic.
+func Shares(rates []float64) []float64 {
+	out := make([]float64, len(rates))
+	sum := 0.0
+	for _, r := range rates {
+		if r > 0 { // NaN-safe: NaN fails the comparison
+			sum += r
+		}
+	}
+	if sum <= 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return out
+	}
+	for i, r := range rates {
+		if r > 0 {
+			out[i] = r / sum
+		}
+	}
+	return out
+}
+
 // Stats tallies scheduling decisions over a Scheduler's lifetime.
 type Stats struct {
 	Splits     int     // launches split across the queue pair
@@ -281,7 +311,7 @@ func (s *Scheduler) LaunchSplit(m *sim.Machine, l sim.CoexecLaunch) timing.Resul
 func (s *Scheduler) runStatic(m *sim.Machine, q *sim.CoexecQueue, items int, hostRate, accelRate float64, run func(chunk)) {
 	frac := s.cfg.HostFraction
 	if frac <= 0 {
-		frac = hostRate / (hostRate + accelRate)
+		frac = Shares([]float64{hostRate, accelRate})[0]
 	}
 	hostItems := int(frac*float64(items) + 0.5)
 	if wf := m.Accelerator().WavefrontSize; wf > 1 && items >= wf {
@@ -341,9 +371,10 @@ func (s *Scheduler) runHGuided(m *sim.Machine, q *sim.CoexecQueue, items int, ho
 	if minChunk == 0 {
 		minChunk = wf
 	}
+	shares := Shares([]float64{hostRate, accelRate})
 	share := map[sim.Target]float64{
-		sim.OnHost:        hostRate / (hostRate + accelRate),
-		sim.OnAccelerator: accelRate / (hostRate + accelRate),
+		sim.OnHost:        shares[0],
+		sim.OnAccelerator: shares[1],
 	}
 	for remaining := items; remaining > 0; {
 		c := chunk{t: sim.OnAccelerator}

@@ -260,3 +260,27 @@ func TestConfigValidate(t *testing.T) {
 		New(Config{HostFraction: 2})
 	}()
 }
+
+// Shares is the proportional-split rule shared with internal/fleet: it
+// must normalize, ignore junk rates, and fall back to uniform.
+func TestShares(t *testing.T) {
+	got := Shares([]float64{3, 1})
+	if got[0] != 0.75 || got[1] != 0.25 {
+		t.Errorf("Shares(3,1) = %v, want [0.75 0.25]", got)
+	}
+	got = Shares([]float64{2, 0, -1, 2})
+	if got[0] != 0.5 || got[1] != 0 || got[2] != 0 || got[3] != 0.5 {
+		t.Errorf("Shares with junk rates = %v, want [0.5 0 0 0.5]", got)
+	}
+	got = Shares([]float64{0, -3})
+	if got[0] != 0.5 || got[1] != 0.5 {
+		t.Errorf("Shares with no positive rate = %v, want uniform", got)
+	}
+	sum := 0.0
+	for _, s := range Shares([]float64{1, 2, 3, 4, 5}) {
+		sum += s
+	}
+	if diff := sum - 1; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("Shares sum = %v, want 1", sum)
+	}
+}

@@ -215,6 +215,59 @@ func TestLoadgenSeparatesHitsFromMisses(t *testing.T) {
 	}
 }
 
+func TestLoadgenOpenLoopArrivals(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(service.Result{Key: "k", Experiment: "table2", Output: "out\n"})
+	}))
+	t.Cleanup(srv.Close)
+
+	// Arrivals override Requests and pace dispatch to the offsets: with
+	// the last arrival at 30ms the run cannot finish sooner, no matter
+	// how fast the daemon answers.
+	start := time.Now()
+	rep, err := fastClient(srv, 1).Loadgen(context.Background(), LoadgenOptions{
+		Requests:    99, // overridden by len(Arrivals)
+		Concurrency: 2,
+		Arrivals:    []time.Duration{0, 10 * time.Millisecond, 30 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 3 {
+		t.Fatalf("requests=%d, want len(Arrivals)=3", rep.Requests)
+	}
+	if rep.Hits+rep.Misses != 3 || rep.Errors != 0 {
+		t.Fatalf("hits=%d misses=%d errors=%d, want 3 successes", rep.Hits, rep.Misses, rep.Errors)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("run finished in %s, before the last arrival offset", elapsed)
+	}
+}
+
+func TestLoadgenOpenLoopCancelable(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(service.Result{Key: "k", Experiment: "table2", Output: "out\n"})
+	}))
+	t.Cleanup(srv.Close)
+
+	// Cancel while the dispatcher is sleeping toward a far-future
+	// arrival: the run must return promptly with ctx.Err(), not wait out
+	// the trace.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := fastClient(srv, 1).Loadgen(ctx, LoadgenOptions{
+		Concurrency: 1,
+		Arrivals:    []time.Duration{0, time.Hour},
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %s; dispatcher slept through it", elapsed)
+	}
+}
+
 func TestLoadgenCountsChaosCancellations(t *testing.T) {
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		select { // slower than every chaos deadline

@@ -31,6 +31,15 @@ type LoadgenOptions struct {
 	CancelAfter time.Duration
 	// Seed drives the chaos choices; 0 means 1.
 	Seed int64
+	// Arrivals, when non-empty, switches dispatch to open-loop pacing:
+	// request i is dispatched Arrivals[i] after the run starts, whether
+	// or not earlier requests have completed — the arrival process is
+	// independent of service times, like real fleet traffic. The offsets
+	// usually come from fleet.ArrivalOffsets, so the same seeded trace
+	// that drove a simulation replays against a live daemon. Overrides
+	// Requests with len(Arrivals); Concurrency still bounds in-flight
+	// requests (dispatched-but-unclaimed requests queue).
+	Arrivals []time.Duration
 }
 
 // LoadgenReport aggregates a run: outcome counts plus separate latency
@@ -98,6 +107,9 @@ func (c *Client) Loadgen(ctx context.Context, opts LoadgenOptions) (*LoadgenRepo
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
+	if len(opts.Arrivals) > 0 {
+		opts.Requests = len(opts.Arrivals)
+	}
 	if len(opts.Mix) == 0 {
 		opts.Mix = []service.RunRequest{{Experiment: "table2", Scale: "smoke"}}
 	}
@@ -111,7 +123,13 @@ func (c *Client) Loadgen(ctx context.Context, opts LoadgenOptions) (*LoadgenRepo
 
 	rep := &LoadgenReport{Requests: opts.Requests, HitNs: &trace.Histogram{}, MissNs: &trace.Histogram{}}
 	var mu sync.Mutex
+	// Open-loop pacing needs a buffered channel: an arrival happens at
+	// its trace time even when every worker is busy, so dispatch must
+	// never block on worker availability.
 	next := make(chan int)
+	if len(opts.Arrivals) > 0 {
+		next = make(chan int, opts.Requests)
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Concurrency; w++ {
 		wg.Add(1)
@@ -143,6 +161,32 @@ func (c *Client) Loadgen(ctx context.Context, opts LoadgenOptions) (*LoadgenRepo
 				mu.Unlock()
 			}
 		}()
+	}
+	if len(opts.Arrivals) > 0 {
+		base := time.Now() //hetlint:allow detnondet loadgen paces real wall-clock arrivals, never experiment output
+		for i := 0; i < opts.Requests; i++ {
+			if d := time.Until(base.Add(opts.Arrivals[i])); d > 0 {
+				timer := time.NewTimer(d)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					timer.Stop()
+					close(next)
+					wg.Wait()
+					return rep, ctx.Err()
+				}
+			}
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				close(next)
+				wg.Wait()
+				return rep, ctx.Err()
+			}
+		}
+		close(next)
+		wg.Wait()
+		return rep, nil
 	}
 	for i := 0; i < opts.Requests; i++ {
 		select {

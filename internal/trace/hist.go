@@ -30,6 +30,14 @@ const (
 	// the service's own registry — never to an experiment capture, so it
 	// cannot perturb golden output.
 	HistServiceRequestNs = "hist.service.request.ns"
+	// HistFleetQueueNs is the fleet simulator's per-job queue-wait
+	// distribution: virtual time between a job's arrival at the cluster
+	// and the start of its (final, post-migration) service.
+	HistFleetQueueNs = "hist.fleet.queue.ns"
+	// HistFleetJobNs is the fleet simulator's per-job sojourn distribution:
+	// virtual time from arrival to completion, including queueing, any
+	// migration penalties and wasted partial executions.
+	HistFleetJobNs = "hist.fleet.job.ns"
 )
 
 // Histogram bucket layout: log-linear buckets in the HDR-histogram

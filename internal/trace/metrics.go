@@ -60,6 +60,17 @@ const (
 	CtrServiceCanceled       = "service.canceled"        // abandoned by their client first
 	CtrServiceErrors         = "service.errors"          // runs that returned an error
 	CtrServiceDegraded       = "service.degraded"        // runs degraded by a cell panic
+
+	// Fleet-simulation counters (see internal/fleet): published once per
+	// cluster run so a trace capture shows how the job stream moved
+	// through the simulated fleet.
+	CtrFleetSubmitted  = "fleet.jobs.submitted" // jobs offered to the cluster
+	CtrFleetCompleted  = "fleet.jobs.completed" // jobs that finished service
+	CtrFleetMigrated   = "fleet.jobs.migrated"  // jobs rebooked after a node loss
+	CtrFleetShed       = "fleet.jobs.shed"      // jobs rejected by full/lost nodes
+	CtrFleetNodeLosses = "fleet.node.losses"    // device-loss windows opened
+	CtrFleetBusyNs     = "fleet.node.busy.ns"   // summed per-node busy time
+	CtrFleetWastedNs   = "fleet.node.wasted.ns" // partial executions lost to migration
 )
 
 // CtrFaultPrefix prefixes the per-kind injected-fault counters.
