@@ -9,6 +9,7 @@
 //	hetbench -exp fig9 -trace out.json     # capture a Chrome/Perfetto trace
 //	hetbench -exp faults -seed 7           # seeded fault-injection sweep
 //	hetbench -exp coexec -seed 1           # CPU+accelerator co-execution sweep
+//	hetbench -exp dag -seed 1              # declarative DAG workload sweep
 //	hetbench -exp fleet -seed 1            # cluster-scale fleet simulation sweep
 //	hetbench -exp fig8 -jobs 8 -v          # parallel cells + runner stats
 //	hetbench -exp all -progress            # live one-line progress on stderr
@@ -18,8 +19,8 @@
 //
 // Experiment ids: table1 table2 table3 table4 fig7 fig8 fig9 fig10 fig11
 // hc tiles dataregion gridtype scaling profile roofline energy trace
-// faults coexec perfbaseline fleet, or "all". "-exp list" is an alias
-// for -list.
+// faults coexec dag perfbaseline fleet, or "all". "-exp list" is an
+// alias for -list.
 //
 // Experiments run their independent cells on a bounded worker pool
 // (-jobs, default GOMAXPROCS) and merge results in deterministic cell

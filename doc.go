@@ -17,7 +17,13 @@
 //	internal/trace    spans, counter registry, hist.* latency histograms,
 //	                  Chrome-trace and CSV exporters
 //	internal/fault    deterministic fault injector + recovery layers
-//	internal/sched    CPU+accelerator co-execution scheduler
+//	internal/sched    CPU+accelerator co-execution scheduler and the
+//	                  DAG-aware planner over per-device virtual queues
+//	internal/workload declarative multi-kernel workload specs: strict
+//	                  JSON parser/validator (dataflow edges, cycle
+//	                  rejection, deterministic topo order) plus the
+//	                  interpreter running specs through sim.Machine
+//	                  under every model's transfer strategy
 //	internal/fleet    cluster-scale simulation: mixed APU/dGPU node
 //	                  fleets under seeded arrival traces (poisson,
 //	                  bursty), static/dynamic/hguided placement,
@@ -45,6 +51,8 @@
 //	cmd/hetbenchctl   its client: single runs, -loadgen (closed-loop or
 //	                  fleet-trace -arrivals replay), -metricz
 //	cmd/hetlint       the static-analysis driver
+//	specs/            shipped workload specs (sobel, canny, 3mm, mlp),
+//	                  embedded as hetbench.SpecFS for the dag experiment
 //
 // Perf baselines BENCH_hotpath.json, BENCH_runner.json and
 // BENCH_service.json live at the repo root; bench_test.go regenerates

@@ -1,0 +1,93 @@
+// Workload: write a multi-kernel pipeline as a declarative JSON spec and
+// let the DAG-aware scheduler overlap its independent kernels across both
+// devices of a machine. The spec below is a tiny stereo-matching sketch —
+// two independent per-camera filters feed a joining cost kernel — written
+// inline so this file is the whole tutorial; the shipped specs under
+// specs/ follow exactly the same schema.
+package main
+
+import (
+	"fmt"
+
+	"hetbench/internal/models/modelapi"
+	"hetbench/internal/sched"
+	"hetbench/internal/sim"
+	"hetbench/internal/workload"
+)
+
+// A spec names its buffers (with sizes), then its kernels: per-item
+// operation counts, a kernel class for the compiler profiles, a
+// wavefront_hint to round launches to, and reads/writes buffer lists.
+// The dependency DAG is *derived* from those lists (filter_left and
+// filter_right touch disjoint buffers, so they are independent; cost
+// reads both outputs, so it runs last) — there is no explicit edge
+// syntax unless an ordering has no dataflow, in which case "after"
+// names the predecessor. "device" pins a kernel ("host"/"accel");
+// unpinned kernels go wherever the planner books them.
+const spec = `{
+  "name": "stereo",
+  "title": "two camera filters feeding a matching-cost kernel",
+  "iterations": 2,
+  "buffers": [
+    {"name": "left", "bytes": 4194304},
+    {"name": "right", "bytes": 4194304},
+    {"name": "left_f", "bytes": 4194304},
+    {"name": "right_f", "bytes": 4194304},
+    {"name": "cost", "bytes": 4194304}
+  ],
+  "kernels": [
+    {
+      "name": "filter_left", "class": "streaming",
+      "items": 1048576, "wavefront_hint": 64,
+      "sp_flops": 18, "load_bytes": 36, "store_bytes": 4, "miss_rate": 0.9,
+      "reads": ["left"], "writes": ["left_f"]
+    },
+    {
+      "name": "filter_right", "class": "streaming",
+      "items": 1048576, "wavefront_hint": 64,
+      "sp_flops": 18, "load_bytes": 36, "store_bytes": 4, "miss_rate": 0.9,
+      "reads": ["right"], "writes": ["right_f"]
+    },
+    {
+      "name": "cost", "class": "streaming",
+      "items": 1048576, "wavefront_hint": 64,
+      "sp_flops": 12, "load_bytes": 8, "store_bytes": 4, "miss_rate": 0.9,
+      "reads": ["left_f", "right_f"], "writes": ["cost"]
+    }
+  ]
+}`
+
+func main() {
+	s, err := workload.Parse([]byte(spec))
+	if err != nil {
+		panic(err) // the parser is strict: cycles, typos and unknown
+		//             buffers all fail here, with positions
+	}
+	prog, err := s.Compile()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %d kernels, %d dependency edges, topo order %v\n\n",
+		s.Name, len(s.Kernels), prog.Edges, prog.Order)
+
+	for _, machine := range []func() *sim.Machine{sim.NewAPU, sim.NewDGPU} {
+		m := machine()
+		fmt.Printf("== %s ==\n", m.Name())
+		for _, model := range modelapi.All() {
+			// Serial baseline: every kernel on one device in topo order.
+			base := workload.Execute(machine(), prog, workload.Options{Model: model})
+			// The DAG planner books ready kernels on whichever device
+			// finishes them earliest; the two filters overlap.
+			planner := sched.NewDag(sched.Config{Policy: sched.Dynamic})
+			dag := workload.Execute(machine(), prog, workload.Options{Model: model, Planner: planner})
+			fmt.Printf("  %-8s serial %7.3f ms  dag %7.3f ms  (%d host / %d accel kernels, %d copies)  speedup %4.2f×\n",
+				model, base.ElapsedNs/1e6, dag.ElapsedNs/1e6,
+				dag.HostKernels, dag.AccelKernels, dag.Transfers,
+				base.ElapsedNs/dag.ElapsedNs)
+		}
+		fmt.Println()
+	}
+	fmt.Println("The fork in the graph is the whole story: with two independent filters")
+	fmt.Println("the planner keeps both devices busy, while a straight chain (try deleting")
+	fmt.Println("one filter) schedules exactly like the serial baseline.")
+}

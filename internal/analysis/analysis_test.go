@@ -29,6 +29,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"launchcheckfree", []*analysis.Analyzer{analysis.LaunchCheck}, 0},
 		{"counterkey", []*analysis.Analyzer{analysis.CounterKey}, 6},
 		{"counterkeyfleet", []*analysis.Analyzer{analysis.CounterKey}, 6},
+		{"counterkeydag", []*analysis.Analyzer{analysis.CounterKey}, 6},
 		{"histkey", []*analysis.Analyzer{analysis.CounterKey}, 6},
 		{"service", []*analysis.Analyzer{analysis.CtxFlow}, 2},
 		{"ctxflowfree", []*analysis.Analyzer{analysis.CtxFlow}, 0},

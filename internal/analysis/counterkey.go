@@ -32,7 +32,7 @@ var counterNamespaces = map[string]bool{
 	"kernel": true, "transfer": true, "dram": true, "llc": true,
 	"lds": true, "flops": true, "instrs": true, "energy": true,
 	"fault": true, "resilience": true, "sched": true, "service": true,
-	"fleet": true,
+	"fleet": true, "workload": true,
 }
 
 // counterNameRE admits lowercase dotted names; hyphens may join words

@@ -1,0 +1,39 @@
+// Package counterkeydag is the fixture for the sched.dag.* and
+// workload.* registry names: the DAG planner's and the workload
+// interpreter's counters must pass the counterkey analyzer like any
+// established namespace, and near-miss spellings must still be rejected.
+package counterkeydag
+
+import (
+	"hetbench/internal/analysis/testdata/src/trace"
+)
+
+// Canonical names, as in the real registry.
+const (
+	ctrDagLaunches        = "sched.dag.launches"
+	ctrDagRebooked        = "sched.dag.rebooked"
+	ctrWorkloadRuns       = "workload.runs"
+	ctrWorkloadMovedBytes = "workload.moved.bytes"
+	histDagKernelNs       = "hist.sched.dag.kernel.ns"
+)
+
+func good(r *trace.Registry, spec string) {
+	r.Add(ctrDagLaunches, 1)
+	r.Add(ctrDagRebooked, 2)
+	r.Add(ctrWorkloadRuns, 1)
+	r.Add(ctrWorkloadMovedBytes, 1<<20)
+	r.Add("sched.dag.idle.ns", 1e3)
+	r.Add("workload.kernels", 5)
+	r.Add("workload."+spec, 1)
+	r.Observe(histDagKernelNs, 1e3)
+	r.Observe("hist.workload."+spec, 2e3)
+}
+
+func bad(r *trace.Registry, name string) {
+	r.Add("dag.launches", 1)          // want `counter name "dag.launches" is outside the established namespaces`
+	r.Add("Workload.Runs", 1)         // want `counter name "Workload.Runs" is not lowercase dotted`
+	r.Add("workloads."+name, 1)       // want `counter prefix "workloads." is outside the established namespaces`
+	r.Observe("workload.stage.ns", 1) // want `histogram name "workload.stage.ns" must start with "hist."`
+	r.Observe("hist.Sched.Dag", 1)    // want `histogram name "hist.Sched.Dag" is not lowercase dotted`
+	r.Observe("sched.dag."+name, 1)   // want `histogram prefix "sched.dag." must start with "hist."`
+}

@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestDagSweepShape pins the sweep's structure: 2 machines × 4 specs ×
+// 3 models × 5 schedules, every cell carrying its serialized baseline.
+func TestDagSweepShape(t *testing.T) {
+	cells := must(DagData(bg, ScaleSmoke))
+	if want := 2 * 4 * 3 * 5; len(cells) != want {
+		t.Fatalf("got %d cells, want %d", len(cells), want)
+	}
+	for _, c := range cells {
+		if c.BaselineNs <= 0 {
+			t.Errorf("%s/%s/%s/%s has no baseline", c.Machine, c.Spec, c.Model, c.Schedule)
+		}
+		if c.Result.Kernels == 0 || c.Result.HostKernels+c.Result.AccelKernels != c.Result.Kernels {
+			t.Errorf("%s/%s/%s/%s kernel accounting off: %+v", c.Machine, c.Spec, c.Model, c.Schedule, c.Result)
+		}
+	}
+}
+
+// TestDagBeatsSerialSomewhere locks the acceptance criterion into the
+// test suite: at least one fault-free DAG cell beats its serialized
+// baseline, and the dyn+loss rows actually exercise rebooking.
+func TestDagBeatsSerialSomewhere(t *testing.T) {
+	cells := must(DagData(bg, ScaleSmoke))
+	wins, rebooked := 0, 0
+	for _, c := range cells {
+		switch c.Schedule {
+		case "serial":
+		case "dyn+loss":
+			rebooked += c.Result.Rebooked
+		default:
+			if c.Speedup() > 1.001 {
+				wins++
+			}
+		}
+	}
+	if wins == 0 {
+		t.Error("no DAG schedule beat serialized execution in any cell")
+	}
+	if rebooked == 0 {
+		t.Error("no kernel was ever rebooked on the dyn+loss rows")
+	}
+}
+
+// TestDagRunDeterministic renders the experiment twice and demands
+// byte-identical output (the double-run diff CI performs, in-process).
+func TestDagRunDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := RunDag(bg, ScaleSmoke, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunDag(bg, ScaleSmoke, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two identical-seed runs rendered different output")
+	}
+	if !strings.Contains(a.String(), "Best DAG win over serialized execution") {
+		t.Error("output is missing the acceptance summary line")
+	}
+}

@@ -9,11 +9,12 @@ import (
 	"hetbench/internal/trace"
 )
 
-// The -race companion to the golden suite: the two seeded sweeps that mix
-// fault injection and co-execution with per-cell machines run under a
-// trace capture at one worker and at eight. The rendered bytes, the folded
-// span and process counts, and the full counter registry must all match —
-// the merge is deterministic, not merely race-free.
+// The -race companion to the golden suite: the three seeded sweeps that
+// mix fault injection, co-execution and DAG scheduling with per-cell
+// machines run under a trace capture at one worker and at eight. The
+// rendered bytes, the folded span and process counts, and the full
+// counter registry must all match — the merge is deterministic, not
+// merely race-free.
 func TestParallelSweepsMatchSerialUnderCapture(t *testing.T) {
 	type snapshot struct {
 		out   string
@@ -33,6 +34,9 @@ func TestParallelSweepsMatchSerialUnderCapture(t *testing.T) {
 			t.Fatal(err)
 		}
 		if err := RunFaults(bg, ScaleSmoke, &buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := RunDag(bg, ScaleSmoke, &buf); err != nil {
 			t.Fatal(err)
 		}
 		return snapshot{buf.String(), capture.Len(), capture.Processes(), capture.Metrics().Snapshot()}

@@ -275,6 +275,8 @@ func Registry() map[string]Experiment {
 			"readmem, LULESH and miniFE split across host CPU and accelerator on both machines under static, dynamic and HGuided partitioning, vs the accelerator alone", RunCoexec},
 		{"perfbaseline", "Extension: perf baseline and latency distributions",
 			"per-app kernel/transfer latency quantiles plus fault-recovery and chunk-service distributions; the runner workout behind BENCH_runner.json (-bench-out)", RunPerfBaseline},
+		{"dag", "Extension: declarative DAG workloads",
+			"the four shipped workload specs (sobel, canny, 3mm, mlp) under spec × model × machine × schedule: serialized baseline vs the DAG-aware planner overlapping independent kernels on both devices, with staging priced per edge and device-loss rebooking", RunDag},
 		{"fleet", "Extension: cluster-scale fleet simulation",
 			"fleets of mixed APU/dGPU nodes under seeded arrival traces: arrival rate × placement policy × fleet mix with p50/p95/p99 tail latency, node utilization and device-loss migration", RunFleet},
 	}
@@ -298,7 +300,7 @@ func IDs() []string {
 // RunAll executes every experiment in order, stopping at the first
 // failure or once ctx is canceled.
 func RunAll(ctx context.Context, scale Scale, w io.Writer) error {
-	order := []string{"table1", "table2", "table3", "table4", "fig7", "fig8", "fig9", "fig10", "fig11", "hc", "tiles", "dataregion", "gridtype", "scaling", "profile", "roofline", "energy", "trace", "faults", "coexec", "perfbaseline", "fleet"}
+	order := []string{"table1", "table2", "table3", "table4", "fig7", "fig8", "fig9", "fig10", "fig11", "hc", "tiles", "dataregion", "gridtype", "scaling", "profile", "roofline", "energy", "trace", "faults", "coexec", "dag", "perfbaseline", "fleet"}
 	reg := Registry()
 	for _, id := range order {
 		if err := ctx.Err(); err != nil {

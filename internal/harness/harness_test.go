@@ -27,7 +27,7 @@ func must[T any](v T, err error) T {
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	want := []string{"table1", "table2", "table3", "table4", "fig7", "fig8", "fig9", "fig10", "fig11", "hc", "tiles", "dataregion", "gridtype", "scaling", "profile", "roofline", "energy", "trace", "faults", "coexec", "perfbaseline", "fleet"}
+	want := []string{"table1", "table2", "table3", "table4", "fig7", "fig8", "fig9", "fig10", "fig11", "hc", "tiles", "dataregion", "gridtype", "scaling", "profile", "roofline", "energy", "trace", "faults", "coexec", "dag", "perfbaseline", "fleet"}
 	for _, id := range want {
 		e, ok := reg[id]
 		if !ok {

@@ -1,0 +1,155 @@
+package sim
+
+// DAG execution: running a multi-kernel workload whose kernels form a
+// dependency graph, with independent kernels overlapping on the two
+// devices. The machine side mirrors coexec.go — it owns a pair of
+// per-device virtual command queues and the merge into the clock — while
+// the placement policy lives in internal/sched's DagPlanner (sched imports
+// sim, keeping the dependency one-way, like CoexecPlanner).
+//
+// A DagQueue differs from a CoexecQueue in two ways. First, kernels are
+// distinct launches rather than chunks of one launch, so every booking
+// pays its full launch overhead. Second, a kernel may not start before its
+// dependencies finish: bookings carry a ready time, and a queue may go
+// idle between kernels (the gap is tallied so schedulers can report
+// dependency stalls).
+
+import (
+	"hetbench/internal/sim/timing"
+)
+
+// DagQueue is the pair of per-device in-order virtual command queues
+// backing one DAG-scheduled workload. Both queues open at the machine
+// clock; Merge advances the clock by the longer queue (the workload's
+// makespan), so kernels on the two devices overlap in virtual time exactly
+// as the emitted spans show. A queue is used by one goroutine (the
+// planning loop); the machine mutex guards the shared ledger.
+type DagQueue struct {
+	m       *Machine
+	startNs float64
+	busy    [2]float64 // indexed by Target
+	idle    [2]float64 // dependency-wait gaps, indexed by Target
+	count   [2]int
+}
+
+// BeginDag opens a DAG queue pair at the current virtual clock.
+func (m *Machine) BeginDag() *DagQueue {
+	m.mu.Lock()
+	q := &DagQueue{m: m, startNs: m.clockNs}
+	m.mu.Unlock()
+	return q
+}
+
+// StartNs returns the virtual time both queues opened at.
+func (q *DagQueue) StartNs() float64 { return q.startNs }
+
+// AvailNs returns when the target's queue next frees up, relative to the
+// queue-pair start.
+func (q *DagQueue) AvailNs(t Target) float64 { return q.busy[t] }
+
+// IdleNs returns the dependency-wait time accumulated on the target's
+// queue: virtual time the device sat idle because every booked kernel's
+// inputs were still in flight on the other device.
+func (q *DagQueue) IdleNs(t Target) float64 { return q.idle[t] }
+
+// KernelCount returns how many kernels have been booked on the target.
+func (q *DagQueue) KernelCount(t Target) int { return q.count[t] }
+
+// KernelTimeNs previews what a kernel would cost on the target without
+// booking it — the planner's look-ahead for earliest-finish placement.
+// Unlike chunks of one co-executed launch, every DAG kernel is a distinct
+// launch, so the preview always includes the launch overhead.
+func (q *DagQueue) KernelTimeNs(t Target, cost timing.KernelCost) float64 {
+	model := q.m.accelModel
+	if t == OnHost {
+		model = q.m.hostModel
+	}
+	return model.Kernel(cost).TimeNs
+}
+
+// RunKernel books one kernel at the tail of the target's queue, no earlier
+// than readyNs (relative to StartNs — the latest finish of the kernel's
+// dependencies). It returns the kernel's timing and its completion time
+// relative to StartNs. The machine clock does not advance until Merge; the
+// kernel's span (when traced) is emitted at its queue position so
+// independent kernels of one workload overlap on the timeline.
+func (q *DagQueue) RunKernel(t Target, name string, cost timing.KernelCost, readyNs float64) (timing.Result, float64) {
+	model := q.m.accelModel
+	if t == OnHost {
+		model = q.m.hostModel
+	}
+	r := model.Kernel(cost)
+	m := q.m
+	m.mu.Lock()
+	start := q.busy[t]
+	if readyNs > start {
+		q.idle[t] += readyNs - start
+		start = readyNs
+	}
+	q.busy[t] = start + r.TimeNs
+	q.count[t]++
+	// Characterization accumulators see every kernel; kernelNs (added at
+	// Merge) sees only the critical path, so IPC is mildly overweighted
+	// while the devices overlap — same trade as the coexec queue.
+	m.ipcWeighted += r.IPC * r.TimeNs
+	if m.boundNs == nil {
+		m.boundNs = make(map[string]float64)
+	}
+	m.boundNs[r.Bound] += r.TimeNs - r.LaunchNs
+	if m.tracer != nil {
+		m.emitKernelLocked(t, name, cost, r, q.startNs+start)
+	}
+	m.mu.Unlock()
+	return r, start + r.TimeNs
+}
+
+// RunTransfer books one staging copy at the tail of the target's queue, no
+// earlier than readyNs: the DMA for a kernel's inputs serializes ahead of
+// it on its device's in-order command queue. Returns the transfer's
+// completion time relative to StartNs. On unified machines the copy is
+// free, like the machine's transfer helpers; across PCIe it costs link
+// time and is recorded in the link's traffic ledger. DAG staging consults
+// no fault injector — transfer-level faults stay on the serial path, while
+// device-loss windows reach DAG execution through the planner's rebooking.
+func (q *DagQueue) RunTransfer(t Target, kind EventKind, name string, bytes int64, readyNs float64) float64 {
+	var ns float64
+	if q.m.link != nil {
+		var us float64
+		if kind == EvHostToDevice {
+			us = q.m.link.ToDevice(bytes)
+		} else {
+			us = q.m.link.FromDevice(bytes)
+		}
+		ns = us * 1e3
+	}
+	m := q.m
+	m.mu.Lock()
+	start := q.busy[t]
+	if readyNs > start {
+		q.idle[t] += readyNs - start
+		start = readyNs
+	}
+	q.busy[t] = start + ns
+	if m.tracer != nil {
+		m.emitTransferLocked(kind, name, bytes, ns, q.startNs+start)
+	}
+	m.mu.Unlock()
+	return start + ns
+}
+
+// Merge closes the queue pair: the machine clock and kernel split clock
+// advance by the longer device queue — the DAG workload's makespan.
+// Returns the makespan in ns. Counters describing the plan are the
+// planner's to publish (see internal/sched's DagPlanner).
+func (q *DagQueue) Merge() float64 {
+	wall := q.busy[OnHost]
+	if q.busy[OnAccelerator] > wall {
+		wall = q.busy[OnAccelerator]
+	}
+	m := q.m
+	m.mu.Lock()
+	m.clockNs += wall
+	m.kernelNs += wall
+	m.mu.Unlock()
+	return wall
+}

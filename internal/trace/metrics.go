@@ -47,6 +47,25 @@ const (
 	CtrSchedImbalanceNs = "sched.imbalance.ns" // |host busy - accel busy| per split
 	CtrSchedMigrated    = "sched.migrated"     // chunks migrated host-ward on device loss
 
+	// DAG-scheduler counters (see internal/sched's DagPlanner): published
+	// once per DAG launch so a trace capture shows how a multi-kernel
+	// workload was spread across the two devices.
+	CtrDagLaunches     = "sched.dag.launches"      // DAG workloads planned
+	CtrDagKernels      = "sched.dag.kernels"       // kernels booked (both devices)
+	CtrDagEdges        = "sched.dag.edges"         // dependency edges honored
+	CtrDagHostKernels  = "sched.dag.host.kernels"  // kernels run on the host CPU
+	CtrDagAccelKernels = "sched.dag.accel.kernels" // kernels run on the accelerator
+	CtrDagRebooked     = "sched.dag.rebooked"      // kernels rebooked host-ward on device loss
+	CtrDagIdleNs       = "sched.dag.idle.ns"       // dependency-wait gaps on both queues
+
+	// Workload-interpreter counters (see internal/workload): published once
+	// per executed spec so a capture shows what a declarative workload cost
+	// beyond its kernels.
+	CtrWorkloadRuns       = "workload.runs"        // specs executed
+	CtrWorkloadKernels    = "workload.kernels"     // kernel launches across all iterations
+	CtrWorkloadTransfers  = "workload.transfers"   // staging copies priced by the strategy
+	CtrWorkloadMovedBytes = "workload.moved.bytes" // bytes those copies moved
+
 	// Service-plane counters (see internal/service): hetbenchd publishes
 	// these to its own registry, one increment per request-path event, so
 	// /metricz exposes admission, cache and failure behavior without

@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"testing"
+)
+
+// FuzzWorkloadSpec throws arbitrary bytes at the strict parser and checks
+// the contract: it never panics, and anything it accepts is a spec whose
+// compilation succeeds with a complete, dependency-respecting topological
+// order. The corpus seeds the interesting rejection classes — a valid
+// spec, an After cycle, a self-edge, a duplicate kernel name and
+// truncated JSON — so mutation starts from both sides of the boundary.
+func FuzzWorkloadSpec(f *testing.F) {
+	f.Add([]byte(validSpec))
+	f.Add([]byte(`{"name":"cycle","kernels":[
+		{"name":"a","class":"streaming","items":1,"after":["b"]},
+		{"name":"b","class":"streaming","items":1,"after":["a"]}]}`))
+	f.Add([]byte(`{"name":"self","kernels":[
+		{"name":"a","class":"streaming","items":1,"after":["a"]}]}`))
+	f.Add([]byte(`{"name":"dup","kernels":[
+		{"name":"a","class":"streaming","items":1},
+		{"name":"a","class":"streaming","items":1}]}`))
+	f.Add([]byte(validSpec[:len(validSpec)/3]))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Parse already compiled once; compiling again must agree and
+		// yield a valid schedule.
+		p, err := s.Compile()
+		if err != nil {
+			t.Fatalf("Parse accepted a spec Compile rejects: %v", err)
+		}
+		n := len(s.Kernels)
+		if len(p.Order) != n {
+			t.Fatalf("topo order covers %d of %d kernels", len(p.Order), n)
+		}
+		pos := make([]int, n)
+		seen := make([]bool, n)
+		for i, k := range p.Order {
+			if k < 0 || k >= n || seen[k] {
+				t.Fatalf("topo order %v is not a permutation", p.Order)
+			}
+			seen[k] = true
+			pos[k] = i
+		}
+		for k, deps := range p.Deps {
+			for _, d := range deps {
+				if d == k {
+					t.Fatalf("kernel %d depends on itself", k)
+				}
+				if pos[d] >= pos[k] {
+					t.Fatalf("topo order %v places dep %d after kernel %d", p.Order, d, k)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,24 @@
+package hetbench
+
+import "embed"
+
+// SpecFS embeds the shipped workload specs under specs/ — the
+// HeteroBench-style multi-kernel pipelines internal/workload executes
+// (see EXPERIMENTS.md "Workload specs"). Embedding them at the repo root
+// keeps the JSON next to the docs while letting internal/harness load
+// them without touching the filesystem; specs_test.go asserts every
+// shipped spec parses and compiles, so a bad commit fails `go test`.
+//
+//go:embed specs/*.json
+var SpecFS embed.FS
+
+// SpecPaths lists the shipped specs in presentation order (the order the
+// dag experiment sweeps them).
+func SpecPaths() []string {
+	return []string{
+		"specs/sobel.json",
+		"specs/canny.json",
+		"specs/3mm.json",
+		"specs/mlp.json",
+	}
+}

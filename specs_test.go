@@ -1,0 +1,64 @@
+package hetbench
+
+import (
+	"testing"
+
+	"hetbench/internal/workload"
+)
+
+// TestShippedSpecsLoad asserts every committed spec under specs/ parses,
+// validates and compiles — a bad spec fails `go test ./...`, not a user's
+// `hetbench -exp dag` run.
+func TestShippedSpecsLoad(t *testing.T) {
+	paths := SpecPaths()
+	if len(paths) != 4 {
+		t.Fatalf("expected 4 shipped specs, got %d", len(paths))
+	}
+	ents, err := SpecFS.ReadDir("specs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != len(paths) {
+		t.Errorf("specs/ holds %d files but SpecPaths lists %d — keep them in sync", len(ents), len(paths))
+	}
+
+	tests := []struct {
+		path    string
+		name    string
+		kernels int
+		edges   int
+	}{
+		{"specs/sobel.json", "sobel", 3, 2},
+		{"specs/canny.json", "canny", 5, 5},
+		{"specs/3mm.json", "3mm", 3, 2},
+		{"specs/mlp.json", "mlp", 4, 3},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			data, err := SpecFS.ReadFile(tc.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, err := workload.Parse(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spec.Name != tc.name {
+				t.Errorf("spec name = %q, want %q", spec.Name, tc.name)
+			}
+			prog, err := spec.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := len(prog.Spec.Kernels); got != tc.kernels {
+				t.Errorf("kernels = %d, want %d", got, tc.kernels)
+			}
+			if prog.Edges != tc.edges {
+				t.Errorf("edges = %d, want %d", prog.Edges, tc.edges)
+			}
+			if len(prog.Order) != tc.kernels {
+				t.Errorf("topo order covers %d of %d kernels", len(prog.Order), tc.kernels)
+			}
+		})
+	}
+}
