@@ -10,9 +10,11 @@ import (
 	"context"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
+	"hetbench/internal/analysis"
 	"hetbench/internal/fault"
 	"hetbench/internal/harness"
 	"hetbench/internal/harness/runner"
@@ -259,6 +261,37 @@ func benchSplitOn(b *testing.B) {
 	}
 }
 
+// hetlintLoad memoizes the module load for BenchmarkHetlint: parsing and
+// type-checking are setup, not the measured phase — the benchmark times
+// the nine-analyzer parallel driver itself.
+var hetlintLoad struct {
+	once sync.Once
+	pkgs []*analysis.Package
+	err  error
+}
+
+func benchHetlintModule(b *testing.B) {
+	hetlintLoad.once.Do(func() {
+		loader, err := analysis.NewLoader(".")
+		if err != nil {
+			hetlintLoad.err = err
+			return
+		}
+		hetlintLoad.pkgs, hetlintLoad.err = loader.Load(".", []string{"./..."})
+	})
+	if hetlintLoad.err != nil {
+		b.Fatal(hetlintLoad.err)
+	}
+	analyzers := analysis.Analyzers()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if findings := analysis.RunAnalyzersParallel(hetlintLoad.pkgs, analyzers, runtime.GOMAXPROCS(0)); len(findings) != 0 {
+			b.Fatalf("module is not hetlint-clean: %v", findings)
+		}
+	}
+}
+
 func benchHistObserve(b *testing.B) {
 	reg := &trace.Registry{}
 	reg.Observe(trace.HistKernelNs, 1)
@@ -305,6 +338,13 @@ func BenchmarkTraceOverhead(b *testing.B) {
 // every traced launch now pays per distribution sample.
 func BenchmarkHistObserve(b *testing.B) {
 	b.Run("observe", benchHistObserve)
+}
+
+// BenchmarkHetlint measures the nine-analyzer parallel driver over the
+// already-loaded module — the cost every CI run and pre-commit hook pays,
+// tracked in the BENCH trajectory alongside the simulator hot paths.
+func BenchmarkHetlint(b *testing.B) {
+	b.Run("module", benchHetlintModule)
 }
 
 // TestLaunchHotPathAllocs is the allocation gate on the histograms-off
@@ -355,6 +395,7 @@ func TestWriteBenchHotpath(t *testing.T) {
 		{"split/off", benchSplitOff},
 		{"split/on", benchSplitOn},
 		{"hist/observe", benchHistObserve},
+		{"hetlint/module", benchHetlintModule},
 	}
 	for _, leaf := range leaves {
 		r := testing.Benchmark(leaf.fn)

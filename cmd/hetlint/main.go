@@ -1,17 +1,31 @@
 // Command hetlint runs hetbench's domain static analyzers over the
 // module: detnondet (jobs-determinism hazards), spanleak (unbalanced
-// trace spans), launchcheck (mishandled fault events) and counterkey
-// (malformed counter names). See internal/analysis for the rules and the
+// trace spans), launchcheck (mishandled fault events), counterkey
+// (malformed counter names), ctxflow (severed cancellation in service
+// packages), seedflow (seeds not derived from fault.SubSeed or a seed
+// parameter, checked interprocedurally), wallclock (wall-clock taint
+// reaching result paths through package-internal helpers), goroexit
+// (go statements without join accounting) and lockbalance (mutexes that
+// can exit locked). See internal/analysis for the rules and the
 // //hetlint:allow suppression directive.
 //
 // Usage:
 //
-//	hetlint [-list] [-only analyzer[,analyzer]] [packages]
+//	hetlint [-list] [-only analyzer[,analyzer]] [-format text|json|sarif] [-jobs n] [packages]
 //
 // Packages default to ./... resolved against the enclosing module.
-// Findings print one per line as "file:line: [analyzer] message", go
-// vet-style; the exit status is 1 when anything is found, 2 on usage or
-// load errors.
+// Packages are analyzed on a bounded worker pool (-jobs, default
+// GOMAXPROCS) with a deterministic merge: the finding list is
+// bit-identical at any worker count.
+//
+// Output formats: text (default) prints one finding per line as
+// "file:line: [analyzer] message", go vet-style, with paths relative to
+// the working directory; json prints a flat array of finding objects;
+// sarif prints a SARIF 2.1.0 log with module-root-relative paths for
+// code-scanning upload.
+//
+// Exit status: 0 when no findings survive suppression, 1 when findings
+// are reported, 2 on usage or load errors.
 package main
 
 import (
@@ -20,6 +34,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"hetbench/internal/analysis"
@@ -34,8 +49,10 @@ func run(stdout, stderr io.Writer, args []string) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	only := fs.String("only", "", "comma-separated subset of analyzers to run")
+	format := fs.String("format", "text", "output format: text, json, or sarif")
+	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "packages analyzed in parallel (findings are identical at any value)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: hetlint [-list] [-only analyzer[,analyzer]] [packages]")
+		fmt.Fprintln(stderr, "usage: hetlint [-list] [-only analyzer[,analyzer]] [-format text|json|sarif] [-jobs n] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -48,6 +65,10 @@ func run(stdout, stderr io.Writer, args []string) int {
 			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	if *format != "text" && *format != "json" && *format != "sarif" {
+		fmt.Fprintf(stderr, "hetlint: unknown format %q (want text, json, or sarif)\n", *format)
+		return 2
 	}
 	if *only != "" {
 		var err error
@@ -77,10 +98,29 @@ func run(stdout, stderr io.Writer, args []string) int {
 		return 2
 	}
 
-	findings := analysis.RunAnalyzers(pkgs, analyzers)
-	for _, f := range findings {
-		f.Pos.Filename = relPath(cwd, f.Pos.Filename)
-		fmt.Fprintln(stdout, f)
+	findings := analysis.RunAnalyzersParallel(pkgs, analyzers, *jobs)
+	// SARIF artifact URIs must be repository-relative for code-scanning
+	// annotation; text and json stay relative to where hetlint ran.
+	base := cwd
+	if *format == "sarif" {
+		base = loader.ModuleRoot()
+	}
+	for i := range findings {
+		findings[i].Pos.Filename = relPath(base, findings[i].Pos.Filename)
+	}
+
+	var werr error
+	switch *format {
+	case "text":
+		werr = analysis.WriteText(stdout, findings)
+	case "json":
+		werr = analysis.WriteJSON(stdout, findings)
+	case "sarif":
+		werr = analysis.WriteSARIF(stdout, findings, analyzers)
+	}
+	if werr != nil {
+		fmt.Fprintf(stderr, "hetlint: %v\n", werr)
+		return 2
 	}
 	if len(findings) > 0 {
 		return 1
@@ -106,9 +146,9 @@ func selectAnalyzers(all []*analysis.Analyzer, only string) ([]*analysis.Analyze
 	return out, nil
 }
 
-// relPath shortens file paths to cwd-relative form when that is cleaner.
-func relPath(cwd, path string) string {
-	if rel, err := filepath.Rel(cwd, path); err == nil && !strings.HasPrefix(rel, "..") {
+// relPath shortens file paths to base-relative form when that is cleaner.
+func relPath(base, path string) string {
+	if rel, err := filepath.Rel(base, path); err == nil && !strings.HasPrefix(rel, "..") {
 		return rel
 	}
 	return path

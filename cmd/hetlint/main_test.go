@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"regexp"
 	"strings"
 	"testing"
@@ -47,7 +48,10 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run(&out, &errb, []string{"-list"}); code != 0 {
 		t.Fatalf("-list exited %d", code)
 	}
-	for _, name := range []string{"detnondet", "spanleak", "launchcheck", "counterkey"} {
+	for _, name := range []string{
+		"detnondet", "spanleak", "launchcheck", "counterkey", "ctxflow",
+		"seedflow", "wallclock", "goroexit", "lockbalance",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
@@ -61,5 +65,146 @@ func TestUnknownAnalyzerIsUsageError(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "unknown analyzer") {
 		t.Errorf("stderr missing diagnostic: %q", errb.String())
+	}
+}
+
+func TestUnknownFormatIsUsageError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(&out, &errb, []string{"-format", "xml", "../../..."}); code != 2 {
+		t.Fatalf("expected exit 2 for unknown format, got %d", code)
+	}
+	if !strings.Contains(errb.String(), "unknown format") {
+		t.Errorf("stderr missing diagnostic: %q", errb.String())
+	}
+}
+
+// TestJSONFormat pins the -format json element shape over a fixture with
+// known findings.
+func TestJSONFormat(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run(&out, &errb, []string{"-only", "counterkey", "-format", "json", "../../internal/analysis/testdata/src/counterkey"})
+	if code != 1 {
+		t.Fatalf("expected exit 1 on findings, got %d\nstderr:\n%s", code, errb.String())
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Severity string `json:"severity"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("-format json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(findings) != 6 {
+		t.Fatalf("expected 6 findings, got %d", len(findings))
+	}
+	for _, f := range findings {
+		if f.File == "" || f.Line == 0 || f.Analyzer != "counterkey" ||
+			f.Severity != "error" || f.Message == "" {
+			t.Errorf("malformed json finding: %+v", f)
+		}
+	}
+}
+
+// TestSARIFFormat validates the -format sarif document: SARIF 2.1.0, one
+// run, a rule per analyzer, results with module-root-relative slash
+// paths — the contract the CI code-scanning upload relies on.
+func TestSARIFFormat(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run(&out, &errb, []string{"-only", "counterkey", "-format", "sarif", "../../internal/analysis/testdata/src/counterkey"})
+	if code != 1 {
+		t.Fatalf("expected exit 1 on findings, got %d\nstderr:\n%s", code, errb.String())
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &log); err != nil {
+		t.Fatalf("-format sarif output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("not a SARIF 2.1.0 log: version=%q schema=%q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("expected 1 run, got %d", len(log.Runs))
+	}
+	run0 := log.Runs[0]
+	if run0.Tool.Driver.Name != "hetlint" {
+		t.Errorf("driver name = %q, want hetlint", run0.Tool.Driver.Name)
+	}
+	// -only counterkey: one analyzer rule plus the directive pseudo-rule.
+	if len(run0.Tool.Driver.Rules) != 2 {
+		t.Errorf("expected 2 rules, got %d", len(run0.Tool.Driver.Rules))
+	}
+	if len(run0.Results) != 6 {
+		t.Fatalf("expected 6 results, got %d", len(run0.Results))
+	}
+	for _, r := range run0.Results {
+		if r.RuleID != "counterkey" || r.Level != "error" || r.Message.Text == "" {
+			t.Errorf("malformed result: %+v", r)
+		}
+		if len(r.Locations) != 1 {
+			t.Fatalf("expected 1 location, got %d", len(r.Locations))
+		}
+		loc := r.Locations[0].PhysicalLocation
+		uri := loc.ArtifactLocation.URI
+		if !strings.HasPrefix(uri, "internal/analysis/testdata/src/counterkey/") {
+			t.Errorf("artifact URI %q is not module-root-relative", uri)
+		}
+		if strings.Contains(uri, "\\") {
+			t.Errorf("artifact URI %q is not slash-separated", uri)
+		}
+		if loc.Region.StartLine == 0 {
+			t.Errorf("result missing startLine: %+v", r)
+		}
+	}
+}
+
+// TestFindingsDeterministicAcrossJobs is the parallel driver's contract
+// test: the rendered finding list over the full fixture tree (every
+// analyzer, plus directive diagnostics) must be byte-identical at one
+// worker and at eight. Run under -race in CI, this also shakes out data
+// races in the worker pool.
+func TestFindingsDeterministicAcrossJobs(t *testing.T) {
+	outputs := make([]string, 0, 2)
+	for _, jobs := range []string{"1", "8"} {
+		var out, errb bytes.Buffer
+		code := run(&out, &errb, []string{"-jobs", jobs, "../../internal/analysis/testdata/src/..."})
+		if code != 1 {
+			t.Fatalf("expected exit 1 over the fixture tree at -jobs %s, got %d\nstderr:\n%s", jobs, code, errb.String())
+		}
+		outputs = append(outputs, out.String())
+	}
+	if outputs[0] != outputs[1] {
+		t.Errorf("findings differ between -jobs 1 and -jobs 8:\n--- jobs=1\n%s\n--- jobs=8\n%s", outputs[0], outputs[1])
+	}
+	if strings.Count(outputs[0], "\n") == 0 {
+		t.Error("fixture tree produced no findings; determinism test is vacuous")
 	}
 }

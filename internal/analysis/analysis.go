@@ -1,6 +1,6 @@
 // Package analysis is hetlint's stdlib-only static-analysis driver. It
 // loads every package in the module (go/parser + go/types, no external
-// dependencies) and runs five domain analyzers that turn the repo's
+// dependencies) and runs nine domain analyzers that turn the repo's
 // load-bearing conventions into mechanically-checked rules:
 //
 //   - detnondet:   no wall-clock or global-PRNG nondeterminism in
@@ -15,7 +15,20 @@
 //     runtime on the launch hot path;
 //   - ctxflow:     request-handling code in service packages never
 //     conjures a fresh context.Background()/context.TODO() — contexts
-//     derive from the request so disconnects and deadlines propagate.
+//     derive from the request so disconnects and deadlines propagate;
+//   - seedflow:    every rand.NewSource/NewPCG seed in the result
+//     packages flows from fault.SubSeed or an explicit seed parameter,
+//     never wall clock, global rand, or an ad-hoc literal — checked
+//     interprocedurally through package-internal seed parameters;
+//   - wallclock:   a package-internal helper whose return value derives
+//     from time.Now/time.Since taints every caller in a result package
+//     (the call-graph deepening of detnondet's per-function rule);
+//   - goroexit:    every go statement in the service and runner
+//     packages is join-accounted: WaitGroup Add/Done pairing with Done
+//     on all paths, a ctx.Done() select, or a channel handoff the
+//     spawner receives;
+//   - lockbalance: every sync.Mutex/RWMutex Lock in the service and
+//     fleet packages reaches its Unlock on all control-flow paths.
 //
 // Intentional violations are annotated in source with
 //
@@ -24,6 +37,10 @@
 // on the flagged line or the line directly above it. The driver reports
 // misspelled and unused directives itself, so a suppression cannot
 // silently outlive the code it excused.
+//
+// RunAnalyzersParallel analyzes packages on a bounded worker pool with a
+// deterministic merge, so the finding list is bit-identical at any
+// worker count — the same ethos as the experiment runner.
 package analysis
 
 import (
@@ -32,7 +49,13 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
-	"strings"
+	"sync"
+)
+
+// Severity levels, mapped onto SARIF's level vocabulary by WriteSARIF.
+const (
+	SeverityError   = "error"
+	SeverityWarning = "warning"
 )
 
 // Finding is one diagnostic: an invariant violation, or a problem with a
@@ -40,6 +63,7 @@ import (
 type Finding struct {
 	Pos      token.Position
 	Analyzer string
+	Severity string
 	Message  string
 }
 
@@ -50,9 +74,10 @@ func (f Finding) String() string {
 
 // Analyzer is one named rule run over each loaded package.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name     string
+	Doc      string
+	Severity string
+	Run      func(*Pass)
 }
 
 // Pass carries one (package, analyzer) run; analyzers report through it.
@@ -68,62 +93,69 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns hetlint's rule set in its fixed presentation order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DetNonDet, SpanLeak, LaunchCheck, CounterKey, CtxFlow}
+	return []*Analyzer{
+		DetNonDet, SpanLeak, LaunchCheck, CounterKey, CtxFlow,
+		SeedFlow, WallClock, GoroExit, LockBalance,
+	}
 }
 
 // DirectiveName is the pseudo-analyzer findings about the //hetlint:allow
 // directives themselves are attributed to. It is not suppressible.
 const DirectiveName = "directive"
 
-// directivePrefix starts every hetlint source directive.
-const directivePrefix = "hetlint:"
-
-// directive is one parsed //hetlint:allow comment.
-type directive struct {
-	file     string
-	line     int
-	analyzer string
-	used     bool
+// RunAnalyzers runs the analyzers over each package serially. It is
+// RunAnalyzersParallel at one worker; see there for the semantics.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	return RunAnalyzersParallel(pkgs, analyzers, 1)
 }
 
-// RunAnalyzers runs the analyzers over each package, applies the
-// //hetlint:allow directives, and returns the surviving findings sorted
-// by position. Directive problems (unknown analyzer, missing reason,
-// unused suppression) are reported as DirectiveName findings.
-func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
+// RunAnalyzersParallel runs the analyzers over the packages on a bounded
+// pool of workers, applies the //hetlint:allow directives, and returns
+// the surviving findings sorted by position. Directive problems (unknown
+// analyzer, missing reason, unused suppression) are reported as
+// DirectiveName findings.
+//
+// Determinism contract: each package is analyzed independently (loaded
+// type information is read-only by the time this runs), per-package
+// findings land in a slot indexed by package order, and the final merge
+// sorts by position — so the result is bit-identical at any worker
+// count, exactly like the experiment runner's cell merge.
+//
+// Directive validity is judged against the full registry plus the passed
+// analyzers, so running a subset with -only does not misreport the other
+// analyzers' suppressions as misspelled; the unused-directive check
+// applies only to directives naming an analyzer that actually ran.
+func RunAnalyzersParallel(pkgs []*Package, analyzers []*Analyzer, workers int) []Finding {
+	if workers < 1 {
+		workers = 1
+	}
 	known := make(map[string]bool, len(analyzers))
-	for _, a := range analyzers {
+	running := make(map[string]bool, len(analyzers))
+	for _, a := range Analyzers() {
 		known[a.Name] = true
 	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+		running[a.Name] = true
+	}
+
+	perPkg := make([][]Finding, len(pkgs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			perPkg[i] = analyzePackage(pkg, analyzers, known, running)
+		}(i, pkg)
+	}
+	wg.Wait()
+
 	var out []Finding
-	for _, pkg := range pkgs {
-		dirs := parseDirectives(pkg, known, &out)
-		var raw []Finding
-		for _, a := range analyzers {
-			pass := &Pass{Pkg: pkg}
-			name := a.Name
-			pass.report = func(pos token.Pos, msg string) {
-				raw = append(raw, Finding{Pos: pkg.Fset.Position(pos), Analyzer: name, Message: msg})
-			}
-			a.Run(pass)
-		}
-		for _, f := range raw {
-			if d := matchDirective(dirs, f); d != nil {
-				d.used = true
-				continue
-			}
-			out = append(out, f)
-		}
-		for _, d := range dirs {
-			if !d.used {
-				out = append(out, Finding{
-					Pos:      token.Position{Filename: d.file, Line: d.line},
-					Analyzer: DirectiveName,
-					Message: fmt.Sprintf("unused //hetlint:allow %s directive: no %s finding on this or the next line",
-						d.analyzer, d.analyzer),
-				})
-			}
-		}
+	for _, fs := range perPkg {
+		out = append(out, fs...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -141,52 +173,40 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	return out
 }
 
-// parseDirectives extracts the package's //hetlint: comments, reporting
-// malformed ones into out and returning the well-formed suppressions.
-func parseDirectives(pkg *Package, known map[string]bool, out *[]Finding) []*directive {
-	var dirs []*directive
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//"+directivePrefix)
-				if !ok {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				verb, rest, _ := strings.Cut(text, " ")
-				if verb != "allow" {
-					*out = append(*out, Finding{Pos: pos, Analyzer: DirectiveName,
-						Message: fmt.Sprintf("unknown hetlint directive %q: only //hetlint:allow <analyzer> <reason> is defined", verb)})
-					continue
-				}
-				name, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
-				if !known[name] {
-					*out = append(*out, Finding{Pos: pos, Analyzer: DirectiveName,
-						Message: fmt.Sprintf("//hetlint:allow names unknown analyzer %q", name)})
-					continue
-				}
-				if strings.TrimSpace(reason) == "" {
-					*out = append(*out, Finding{Pos: pos, Analyzer: DirectiveName,
-						Message: fmt.Sprintf("//hetlint:allow %s has no reason; the directive grammar is //hetlint:allow <analyzer> <reason>", name)})
-					continue
-				}
-				dirs = append(dirs, &directive{file: pos.Filename, line: pos.Line, analyzer: name})
-			}
+// analyzePackage runs every analyzer over one package and resolves its
+// suppression directives; it touches no shared state, so packages can be
+// analyzed concurrently.
+func analyzePackage(pkg *Package, analyzers []*Analyzer, known, running map[string]bool) []Finding {
+	var out []Finding
+	dirs := parseDirectives(pkg, known, &out)
+	var raw []Finding
+	for _, a := range analyzers {
+		pass := &Pass{Pkg: pkg}
+		name, sev := a.Name, a.Severity
+		pass.report = func(pos token.Pos, msg string) {
+			raw = append(raw, Finding{Pos: pkg.Fset.Position(pos), Analyzer: name, Severity: sev, Message: msg})
 		}
+		a.Run(pass)
 	}
-	return dirs
-}
-
-// matchDirective returns the directive suppressing f, if any: same
-// analyzer, same file, on the finding's line or the line directly above.
-func matchDirective(dirs []*directive, f Finding) *directive {
+	for _, f := range raw {
+		if d := matchDirective(dirs, f); d != nil {
+			d.used = true
+			continue
+		}
+		out = append(out, f)
+	}
 	for _, d := range dirs {
-		if d.analyzer == f.Analyzer && d.file == f.Pos.Filename &&
-			(d.line == f.Pos.Line || d.line == f.Pos.Line-1) {
-			return d
+		if !d.used && running[d.analyzer] {
+			out = append(out, Finding{
+				Pos:      token.Position{Filename: d.file, Line: d.line},
+				Analyzer: DirectiveName,
+				Severity: SeverityWarning,
+				Message: fmt.Sprintf("unused //hetlint:allow %s directive: no %s finding on this or the next line",
+					d.analyzer, d.analyzer),
+			})
 		}
 	}
-	return nil
+	return out
 }
 
 // ---------------------------------------------------------------------

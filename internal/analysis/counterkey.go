@@ -19,9 +19,10 @@ import (
 // sanctioned dynamic form is a constant dotted prefix concatenated with
 // a kind ("fault." + string(kind)), which the machine's fault path uses.
 var CounterKey = &Analyzer{
-	Name: "counterkey",
-	Doc:  "requires trace counter and histogram names to be lowercase dotted constants in the established namespaces",
-	Run:  runCounterKey,
+	Name:     "counterkey",
+	Doc:      "requires trace counter and histogram names to be lowercase dotted constants in the established namespaces",
+	Severity: SeverityError,
+	Run:      runCounterKey,
 }
 
 // counterNamespaces are the registry's established top-level segments

@@ -15,13 +15,14 @@ import (
 // the request via context.WithoutCancel, or carries a
 // //hetlint:allow ctxflow directive naming why.
 var CtxFlow = &Analyzer{
-	Name: "ctxflow",
-	Doc:  "flags context.Background()/context.TODO() in service request-handling packages",
-	Run:  runCtxFlow,
+	Name:     "ctxflow",
+	Doc:      "flags context.Background()/context.TODO() in service request-handling packages",
+	Severity: SeverityError,
+	Run:      runCtxFlow,
 }
 
 func runCtxFlow(p *Pass) {
-	if !inServiceScope(p.Pkg.Path) {
+	if !scopedTo(p.Pkg.Path, "ctxflow", "service") {
 		return
 	}
 	info := p.Pkg.Info
@@ -40,13 +41,25 @@ func runCtxFlow(p *Pass) {
 	}
 }
 
-// inServiceScope reports whether an import path names a service package:
-// any "/"-separated segment equal to "service" (internal/service and its
-// subpackages, plus the testdata fixture).
-func inServiceScope(path string) bool {
-	for _, seg := range strings.Split(path, "/") {
-		if seg == "service" {
-			return true
+// scopedTo reports whether the package at path is inside a scoped
+// analyzer's territory: either some "/"-separated segment of the import
+// path equals one of the scope segments (internal/service and its
+// subpackages match "service"), or the package is an analysis fixture
+// directory named exactly after the analyzer (testdata/src/<analyzer>),
+// so fixture packages exercise scoped rules without masquerading as real
+// package paths. Fixtures with other names (ctxflowfree,
+// launchcheckfree, …) stay out of scope, which is how the out-of-scope
+// negative fixtures work.
+func scopedTo(path, analyzer string, segments ...string) bool {
+	segs := strings.Split(path, "/")
+	if strings.Contains(path, "/testdata/src/") && segs[len(segs)-1] == analyzer {
+		return true
+	}
+	for _, seg := range segs {
+		for _, want := range segments {
+			if seg == want {
+				return true
+			}
 		}
 	}
 	return false

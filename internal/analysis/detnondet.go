@@ -20,9 +20,10 @@ import (
 //     strings.Builder/bytes.Buffer writes, or appends to a slice that is
 //     never sorted) — map iteration order differs run to run.
 var DetNonDet = &Analyzer{
-	Name: "detnondet",
-	Doc:  "flags wall-clock, global-PRNG and map-order nondeterminism in result-producing code",
-	Run:  runDetNonDet,
+	Name:     "detnondet",
+	Doc:      "flags wall-clock, global-PRNG and map-order nondeterminism in result-producing code",
+	Severity: SeverityError,
+	Run:      runDetNonDet,
 }
 
 // globalRandFuncs are the math/rand package-level functions that draw

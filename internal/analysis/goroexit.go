@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroExit enforces join accounting for every go statement in the service
+// and runner packages (any import-path segment equal to "service" or
+// "runner"): a goroutine the daemon spawns must be observable at shutdown,
+// or Close hangs forever on a lost worker — the failure mode the
+// chaos suite exists to catch. A go statement is accounted when one of
+// three disciplines holds:
+//
+//   - WaitGroup pairing: some wg.Add(…) on the same WaitGroup precedes the
+//     go statement in the spawning function, and the goroutine body calls
+//     that WaitGroup's Done() on every control-flow path (defer, or
+//     explicit calls dominating each exit — the spanleak machinery);
+//   - context bounding: the goroutine body receives from a context's
+//     Done() channel, so cancellation reaches it;
+//   - channel handoff: the body closes or sends on a channel the spawning
+//     function receives from.
+//
+// A WaitGroup pairing that is merely attempted — Done on some paths but
+// not all — is reported as broken rather than falling back to the other
+// disciplines: a skippable Done is exactly the bug that deadlocks
+// wg.Wait.
+var GoroExit = &Analyzer{
+	Name:     "goroexit",
+	Doc:      "requires go statements in service/runner packages to be join-accounted (WaitGroup pairing, ctx.Done select, or channel handoff)",
+	Severity: SeverityError,
+	Run:      runGoroExit,
+}
+
+func runGoroExit(p *Pass) {
+	if !scopedTo(p.Pkg.Path, "goroexit", "service", "runner") {
+		return
+	}
+	info := p.Pkg.Info
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, f := range p.Pkg.Files {
+		parents := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				checkGoStmt(p, parents, decls, g)
+			}
+			return true
+		})
+	}
+}
+
+func checkGoStmt(p *Pass, parents map[ast.Node]ast.Node, decls map[*types.Func]*ast.FuncDecl, g *ast.GoStmt) {
+	info := p.Pkg.Info
+	spawner := enclosingFunc(parents, g)
+	if spawner == nil {
+		return
+	}
+	var body *ast.BlockStmt
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		body = lit.Body
+	} else if fn, ok := calleeObj(info, g.Call).(*types.Func); ok {
+		if decl := decls[fn]; decl != nil {
+			body = decl.Body
+		}
+	}
+	if body == nil {
+		p.Reportf(g.Pos(), "goroutine body is not visible to hetlint (external or dynamic callee); wrap it in a func literal that is join-accounted")
+		return
+	}
+
+	// Discipline 1: WaitGroup pairing. Collect the receivers of Add calls
+	// preceding the go statement in the spawning function, then look for a
+	// matching Done in the body.
+	adds := waitGroupAddsBefore(info, spawner, g)
+	if done := findWaitGroupDone(info, body, adds); done != "" {
+		pc := &pathCheck{info: info, closes: closesWaitGroupDone(info, done)}
+		if !pc.closedOnBody(body) {
+			p.Reportf(g.Pos(), "goroutine's %s.Done() is not reached on every path; defer it so the Add before this go statement is always balanced", done)
+		}
+		return
+	}
+
+	// Discipline 2: the body selects/receives on a context Done channel.
+	if receivesCtxDone(info, body) {
+		return
+	}
+
+	// Discipline 3: the body closes or sends on a channel the spawner
+	// receives from outside the go statement.
+	if handoff := bodyChannelSignals(info, body); len(handoff) > 0 {
+		if spawnerReceivesFrom(spawner, g, handoff) {
+			return
+		}
+	}
+
+	p.Reportf(g.Pos(), "go statement is not join-accounted: pair it with WaitGroup Add/Done, select on a context's Done(), or hand off on a channel the spawner receives")
+}
+
+// waitGroupAddsBefore collects the rendered receivers ("wg", "s.inflight")
+// of WaitGroup.Add calls textually preceding the go statement in the
+// spawning function.
+func waitGroupAddsBefore(info *types.Info, spawner *ast.BlockStmt, g *ast.GoStmt) map[string]bool {
+	adds := make(map[string]bool)
+	inspectSkipFuncLits(spawner, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= g.Pos() {
+			return true
+		}
+		if isMethodOn(calleeObj(info, call), "WaitGroup", "Add") {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				adds[types.ExprString(sel.X)] = true
+			}
+		}
+		return true
+	})
+	return adds
+}
+
+// findWaitGroupDone returns the rendered receiver of a Done call in the
+// goroutine body matching one of the spawner's Adds, or "". For a named
+// function's body the receiver spelling differs from the spawner's, so
+// any WaitGroup Done counts when no rendering matches but adds exist.
+func findWaitGroupDone(info *types.Info, body *ast.BlockStmt, adds map[string]bool) string {
+	var any string
+	var matched string
+	inspectSkipFuncLits(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			// Deferred closures still account: the Done inside runs at exit.
+			if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+				if m := findWaitGroupDone(info, lit.Body, adds); m != "" {
+					if adds[m] {
+						matched = m
+					} else if any == "" {
+						any = m
+					}
+				}
+				return false
+			}
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isMethodOn(calleeObj(info, call), "WaitGroup", "Done") {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				r := types.ExprString(sel.X)
+				if adds[r] {
+					matched = r
+				} else if any == "" {
+					any = r
+				}
+			}
+		}
+		return true
+	})
+	if matched != "" {
+		return matched
+	}
+	if len(adds) > 0 && any != "" {
+		return any // named-callee body: receiver spelled differently
+	}
+	return ""
+}
+
+// closesWaitGroupDone matches `<render>.Done()` calls for the path check.
+func closesWaitGroupDone(info *types.Info, render string) closer {
+	return func(call *ast.CallExpr) bool {
+		if !isMethodOn(calleeObj(info, call), "WaitGroup", "Done") {
+			return false
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		return ok && types.ExprString(sel.X) == render
+	}
+}
+
+// receivesCtxDone reports whether body contains a receive from a context
+// Done() channel (`<-ctx.Done()` — directly or as a select comm).
+func receivesCtxDone(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		u, ok := n.(*ast.UnaryExpr)
+		if !ok || u.Op.String() != "<-" {
+			return true
+		}
+		call, ok := ast.Unparen(u.X).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := calleeObj(info, call).(*types.Func); ok &&
+			fn.Name() == "Done" && fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// bodyChannelSignals collects rendered channels the goroutine body closes
+// or sends on.
+func bodyChannelSignals(info *types.Info, body *ast.BlockStmt) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) == 1 {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+					out[types.ExprString(n.Args[0])] = true
+				}
+			}
+		case *ast.SendStmt:
+			out[types.ExprString(n.Chan)] = true
+		}
+		return true
+	})
+	return out
+}
+
+// spawnerReceivesFrom reports whether the spawning function, outside the
+// go statement itself, receives from or ranges over one of the handoff
+// channels.
+func spawnerReceivesFrom(spawner *ast.BlockStmt, g *ast.GoStmt, handoff map[string]bool) bool {
+	found := false
+	ast.Inspect(spawner, func(n ast.Node) bool {
+		if found || n == ast.Node(g) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" && handoff[types.ExprString(n.X)] {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if handoff[types.ExprString(n.X)] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -18,9 +18,10 @@ import (
 //     which bypasses the injector entirely. Host-targeted launches are
 //     exempt: the injector only perturbs the accelerator.
 var LaunchCheck = &Analyzer{
-	Name: "launchcheck",
-	Doc:  "forbids discarding LaunchKernelChecked fault events and bare accelerator launches in fault-participating packages",
-	Run:  runLaunchCheck,
+	Name:     "launchcheck",
+	Doc:      "forbids discarding LaunchKernelChecked fault events and bare accelerator launches in fault-participating packages",
+	Severity: SeverityError,
+	Run:      runLaunchCheck,
 }
 
 func runLaunchCheck(p *Pass) {

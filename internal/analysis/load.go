@@ -67,6 +67,12 @@ func NewLoader(dir string) (*Loader, error) {
 // Fset returns the loader's file set (shared by all loaded packages).
 func (l *Loader) Fset() *token.FileSet { return l.fset }
 
+// ModuleRoot returns the absolute directory of the enclosing module —
+// the base SARIF output resolves artifact URIs against, so code-scanning
+// annotations land on repository-relative paths regardless of where
+// hetlint ran from.
+func (l *Loader) ModuleRoot() string { return l.modRoot }
+
 // Import resolves one import path for the type checker: module-internal
 // paths load (recursively) through the loader, the rest through the
 // source importer.

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockBalance requires every sync.Mutex / sync.RWMutex acquisition in the
+// service and fleet packages (any import-path segment equal to "service"
+// or "fleet") to reach its matching release on all control-flow paths out
+// of the acquiring function: a deferred unlock, or explicit unlocks
+// dominating each return, break-out and fall-through — the same
+// structural dominator analysis spanleak uses for spans. A Lock that can
+// exit without Unlock is a deadlock the chaos suite only finds when the
+// rare path fires; this makes it a compile-time finding.
+//
+// Lock/Unlock pairs are matched by the receiver's source rendering
+// ("s.mu", "c.mu"), RLock pairs with RUnlock, and panic paths are exempt
+// (the flow machinery's usual rules).
+var LockBalance = &Analyzer{
+	Name:     "lockbalance",
+	Doc:      "requires Mutex/RWMutex Lock in service/fleet packages to reach Unlock on all control-flow paths",
+	Severity: SeverityError,
+	Run:      runLockBalance,
+}
+
+// lockPairs maps acquisition method to its release.
+var lockPairs = map[string]string{
+	"Lock":  "Unlock",
+	"RLock": "RUnlock",
+}
+
+func runLockBalance(p *Pass) {
+	if !scopedTo(p.Pkg.Path, "lockbalance", "service", "fleet") {
+		return
+	}
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		parents := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObj(info, call)
+			if !isMethodOn(obj, "Mutex", "Lock") && !isMethodOn(obj, "RWMutex", "Lock", "RLock") {
+				return true
+			}
+			unlock := lockPairs[obj.Name()]
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			stmt, ok := parents[call].(*ast.ExprStmt)
+			if !ok {
+				return true // not a statement-level acquisition
+			}
+			fnBody := enclosingFunc(parents, stmt)
+			if fnBody == nil {
+				return true
+			}
+			recv := types.ExprString(sel.X)
+			pc := &pathCheck{info: info, closes: closesUnlock(info, recv, unlock)}
+			if pc.deferredClose(fnBody) {
+				return true
+			}
+			if pc.leaksFrom(parents, fnBody, stmt) {
+				p.Reportf(call.Pos(), "%s.%s() does not reach %s.%s() on every path; defer the unlock or release before each exit",
+					recv, obj.Name(), recv, unlock)
+			}
+			return true
+		})
+	}
+}
+
+// closesUnlock matches `<recv>.<unlock>()` calls on Mutex or RWMutex.
+func closesUnlock(info *types.Info, recv, unlock string) closer {
+	return func(call *ast.CallExpr) bool {
+		obj := calleeObj(info, call)
+		if !isMethodOn(obj, "Mutex", unlock) && !isMethodOn(obj, "RWMutex", unlock) {
+			return false
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		return ok && types.ExprString(sel.X) == recv
+	}
+}

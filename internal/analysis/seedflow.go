@@ -1,0 +1,451 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SeedFlow enforces the seed-derivation discipline in the result-producing
+// packages (any import-path segment equal to sim, fleet, fault, workload or
+// sched): every seed handed to a PRNG constructor (rand.NewSource,
+// rand/v2's NewPCG, NewChaCha8) and every parent handed to fault.SubSeed
+// must flow from a recognized seed source —
+//
+//   - a fault.SubSeed derivation,
+//   - a seed-named field, constant or package variable (cfg.Seed,
+//     spec.Seed, defaultSeed, …), or
+//   - a function parameter, in which case the obligation moves to every
+//     in-package caller of that parameter (the interprocedural step: a
+//     helper taking `seed int64` is innocent, its caller passing
+//     time.Now().UnixNano() is not).
+//
+// Wall-clock reads, global math/rand draws, PRNG draws and ad-hoc literals
+// are rejected: a literal seed silently pins a stream the harness believes
+// it controls, and a clock seed breaks replay outright. Parameters of
+// exported functions whose callers live outside the package are trusted at
+// the boundary, as are function-literal parameters.
+var SeedFlow = &Analyzer{
+	Name:     "seedflow",
+	Doc:      "requires PRNG seeds and fault.SubSeed parents in result packages to flow from SubSeed, seed-named sources, or seed parameters (checked interprocedurally)",
+	Severity: SeverityError,
+	Run:      runSeedFlow,
+}
+
+// Seed taint ranks. Dirty dominates literal and blessed; blessed absorbs
+// literal (seed + stream-offset literal arithmetic is the SubSeed idiom's
+// moral equivalent and stays blessed).
+const (
+	seedBlessed = iota // flows from a recognized seed source
+	seedLiteral        // an ad-hoc constant
+	seedDirty          // wall clock, global rand, or untraceable
+)
+
+// seedClass is the classification of one expression: its rank, a
+// diagnostic phrase for the tainting source, and — for blessed
+// expressions — the parameters the blessing rests on, which become
+// call-site obligations.
+type seedClass struct {
+	rank   int
+	why    string
+	params []types.Object
+}
+
+// seedFn is the per-function-declaration dataflow context.
+type seedFn struct {
+	decl    *ast.FuncDecl
+	params  map[types.Object]bool       // declared parameters (incl. receiver and nested literals')
+	assigns map[types.Object][]ast.Expr // local object -> every assigned RHS
+}
+
+// seedParamRef locates a top-level declaration's parameter for call-site
+// propagation.
+type seedParamRef struct {
+	owner *types.Func
+	index int
+}
+
+// seedCall is one call expression with its enclosing declaration.
+type seedCall struct {
+	call *ast.CallExpr
+	fn   *seedFn
+}
+
+type seedScan struct {
+	pass     *Pass
+	info     *types.Info
+	calls    []seedCall // every call in the package, file order
+	paramAt  map[types.Object]seedParamRef
+	demanded map[types.Object]bool
+	queue    []types.Object
+}
+
+func runSeedFlow(p *Pass) {
+	if !scopedTo(p.Pkg.Path, "seedflow", "sim", "fleet", "fault", "workload", "sched") {
+		return
+	}
+	s := &seedScan{
+		pass:     p,
+		info:     p.Pkg.Info,
+		paramAt:  make(map[types.Object]seedParamRef),
+		demanded: make(map[types.Object]bool),
+	}
+	s.collect()
+	s.checkDemandSites()
+	s.propagate()
+}
+
+// collect builds the per-declaration dataflow contexts and the package's
+// call list in deterministic file order.
+func (s *seedScan) collect() {
+	for _, f := range s.pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sf := &seedFn{
+				decl:    fd,
+				params:  make(map[types.Object]bool),
+				assigns: make(map[types.Object][]ast.Expr),
+			}
+			s.addFields(sf, fd.Recv)
+			s.addFields(sf, fd.Type.Params)
+			if fnObj, ok := s.info.Defs[fd.Name].(*types.Func); ok {
+				s.indexParams(fnObj, fd.Type.Params)
+			}
+			record := func(lhs ast.Expr, rhs ast.Expr) {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					return
+				}
+				obj := s.info.Defs[id]
+				if obj == nil {
+					obj = s.info.Uses[id]
+				}
+				if obj != nil {
+					sf.assigns[obj] = append(sf.assigns[obj], rhs)
+				}
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					// Literal parameters are trusted at the boundary: the
+					// values flowing in are classified where the literal
+					// is called or handed off.
+					s.addFields(sf, n.Type.Params)
+				case *ast.AssignStmt:
+					if len(n.Lhs) == len(n.Rhs) {
+						for i, lhs := range n.Lhs {
+							record(lhs, n.Rhs[i])
+						}
+					} else {
+						for _, lhs := range n.Lhs {
+							for _, rhs := range n.Rhs {
+								record(lhs, rhs)
+							}
+						}
+					}
+				case *ast.ValueSpec:
+					for i, name := range n.Names {
+						if len(n.Values) == len(n.Names) {
+							record(name, n.Values[i])
+						} else {
+							for _, v := range n.Values {
+								record(name, v)
+							}
+						}
+					}
+				case *ast.CallExpr:
+					s.calls = append(s.calls, seedCall{n, sf})
+				}
+				return true
+			})
+		}
+	}
+}
+
+func (s *seedScan) addFields(sf *seedFn, fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	for _, f := range fl.List {
+		for _, name := range f.Names {
+			if obj := s.info.Defs[name]; obj != nil {
+				sf.params[obj] = true
+			}
+		}
+	}
+}
+
+// indexParams records the positional index of each named top-level
+// parameter, so a blessing resting on it can be re-checked at call sites.
+func (s *seedScan) indexParams(owner *types.Func, fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	i := 0
+	for _, f := range fl.List {
+		if len(f.Names) == 0 {
+			i++
+			continue
+		}
+		for _, name := range f.Names {
+			if obj := s.info.Defs[name]; obj != nil {
+				s.paramAt[obj] = seedParamRef{owner: owner, index: i}
+			}
+			i++
+		}
+	}
+}
+
+// seedCtorArgIndexes returns the seed-argument positions of a PRNG
+// constructor call, or nil.
+func seedCtorArgIndexes(obj types.Object) []int {
+	switch {
+	case isPkgFunc(obj, "math/rand", "NewSource"):
+		return []int{0}
+	case isPkgFunc(obj, "math/rand/v2", "NewPCG"):
+		return []int{0, 1}
+	case isPkgFunc(obj, "math/rand/v2", "NewChaCha8"):
+		return []int{0}
+	}
+	return nil
+}
+
+// isFuncNamed matches a package-level function by package *name* rather
+// than import path, so the testdata fault stub stands in for the real
+// internal/fault exactly like isMethodOn's name matching does.
+func isFuncNamed(obj types.Object, pkgName, name string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Name() != pkgName {
+		return false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	return fn.Name() == name
+}
+
+// seedish reports whether a name marks a seed by convention.
+func seedish(name string) bool {
+	return strings.Contains(strings.ToLower(name), "seed")
+}
+
+// checkDemandSites classifies every direct seed consumer: PRNG
+// constructor seed arguments and fault.SubSeed parent arguments.
+func (s *seedScan) checkDemandSites() {
+	for _, sc := range s.calls {
+		obj := calleeObj(s.info, sc.call)
+		if idxs := seedCtorArgIndexes(obj); idxs != nil {
+			for _, i := range idxs {
+				if i < len(sc.call.Args) {
+					s.demandAt(sc.call.Args[i], sc.fn, fmt.Sprintf("%s seed", obj.Name()))
+				}
+			}
+			continue
+		}
+		if isFuncNamed(obj, "fault", "SubSeed") && len(sc.call.Args) >= 1 {
+			s.demandAt(sc.call.Args[0], sc.fn, "fault.SubSeed parent")
+		}
+	}
+}
+
+// demandAt classifies one seed-position expression and reports or
+// propagates accordingly.
+func (s *seedScan) demandAt(e ast.Expr, fn *seedFn, what string) {
+	c := s.classify(e, fn, make(map[types.Object]bool))
+	switch c.rank {
+	case seedDirty:
+		s.pass.Reportf(e.Pos(), "%s derives from %s; seeds must flow from fault.SubSeed or an explicit seed parameter", what, c.why)
+	case seedLiteral:
+		why := c.why
+		if why == "" {
+			why = "an ad-hoc literal"
+		}
+		s.pass.Reportf(e.Pos(), "%s is %s; derive it with fault.SubSeed(parent, stream) or accept a seed parameter", what, why)
+	default:
+		for _, p := range c.params {
+			s.addDemand(p)
+		}
+	}
+}
+
+// addDemand queues a parameter whose value must itself be a flowed seed.
+func (s *seedScan) addDemand(obj types.Object) {
+	if s.demanded[obj] {
+		return
+	}
+	s.demanded[obj] = true
+	s.queue = append(s.queue, obj)
+}
+
+// propagate is the interprocedural fixpoint: for every demanded
+// parameter, each in-package call site's corresponding argument is
+// classified like a direct seed, possibly demanding further parameters.
+func (s *seedScan) propagate() {
+	for len(s.queue) > 0 {
+		obj := s.queue[0]
+		s.queue = s.queue[1:]
+		ref, ok := s.paramAt[obj]
+		if !ok {
+			continue // function-literal parameter: trusted boundary
+		}
+		for _, sc := range s.calls {
+			if calleeObj(s.info, sc.call) != types.Object(ref.owner) || ref.index >= len(sc.call.Args) {
+				continue
+			}
+			s.demandAt(sc.call.Args[ref.index], sc.fn,
+				fmt.Sprintf("seed parameter %q of %s", obj.Name(), ref.owner.Name()))
+		}
+	}
+}
+
+// classify ranks one expression's fitness as a seed.
+func (s *seedScan) classify(e ast.Expr, fn *seedFn, visiting map[types.Object]bool) seedClass {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return seedClass{rank: seedLiteral, why: fmt.Sprintf("the ad-hoc literal %s", e.Value)}
+	case *ast.UnaryExpr:
+		return s.classify(e.X, fn, visiting)
+	case *ast.BinaryExpr:
+		return combineSeed(s.classify(e.X, fn, visiting), s.classify(e.Y, fn, visiting))
+	case *ast.CallExpr:
+		return s.classifyCall(e, fn, visiting)
+	case *ast.Ident:
+		return s.classifyIdent(e, fn, visiting)
+	case *ast.SelectorExpr:
+		return s.classifySelector(e)
+	case *ast.IndexExpr:
+		return s.classify(e.X, fn, visiting)
+	}
+	return seedClass{rank: seedDirty, why: "an expression hetlint cannot trace to a seed source"}
+}
+
+func (s *seedScan) classifyIdent(e *ast.Ident, fn *seedFn, visiting map[types.Object]bool) seedClass {
+	obj := s.info.Uses[e]
+	if obj == nil {
+		obj = s.info.Defs[e]
+	}
+	if obj == nil {
+		return seedClass{rank: seedDirty, why: fmt.Sprintf("the untraceable identifier %s", e.Name)}
+	}
+	switch o := obj.(type) {
+	case *types.Const:
+		if seedish(o.Name()) {
+			return seedClass{rank: seedBlessed}
+		}
+		return seedClass{rank: seedLiteral, why: fmt.Sprintf("the ad-hoc constant %s", o.Name())}
+	case *types.Var:
+		if fn.params[o] {
+			return seedClass{rank: seedBlessed, params: []types.Object{o}}
+		}
+		if seedish(o.Name()) && o.Parent() == s.pass.Pkg.Pkg.Scope() {
+			return seedClass{rank: seedBlessed}
+		}
+		rhs := fn.assigns[o]
+		if len(rhs) == 0 {
+			return seedClass{rank: seedDirty, why: fmt.Sprintf("%s, which hetlint cannot trace to a seed source", o.Name())}
+		}
+		if visiting[o] {
+			// Self-referential assignment (seed = seed + 1): neutral, the
+			// other assignments decide.
+			return seedClass{rank: seedLiteral}
+		}
+		visiting[o] = true
+		c := s.classify(rhs[0], fn, visiting)
+		for _, r := range rhs[1:] {
+			c = combineSeed(c, s.classify(r, fn, visiting))
+		}
+		delete(visiting, o)
+		return c
+	}
+	return seedClass{rank: seedDirty, why: fmt.Sprintf("%s, which is not a value", e.Name)}
+}
+
+func (s *seedScan) classifySelector(e *ast.SelectorExpr) seedClass {
+	obj := s.info.Uses[e.Sel]
+	if c, ok := obj.(*types.Const); ok {
+		if seedish(c.Name()) {
+			return seedClass{rank: seedBlessed}
+		}
+		return seedClass{rank: seedLiteral, why: fmt.Sprintf("the ad-hoc constant %s", c.Name())}
+	}
+	if seedish(e.Sel.Name) {
+		return seedClass{rank: seedBlessed} // cfg.Seed, spec.Seed, …
+	}
+	return seedClass{rank: seedDirty, why: fmt.Sprintf("%s, which is not a seed-named source", types.ExprString(e))}
+}
+
+func (s *seedScan) classifyCall(call *ast.CallExpr, fn *seedFn, visiting map[types.Object]bool) seedClass {
+	if tv, ok := s.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return s.classify(call.Args[0], fn, visiting) // conversion: int64(x)
+	}
+	obj := calleeObj(s.info, call)
+	if obj == nil {
+		return seedClass{rank: seedDirty, why: "an untraceable call"}
+	}
+	if isPkgFunc(obj, "time", "Now", "Since") {
+		return seedClass{rank: seedDirty, why: fmt.Sprintf("the wall clock (time.%s)", obj.Name())}
+	}
+	if isPkgFunc(obj, "math/rand", globalRandFuncs...) || isPkgFunc(obj, "math/rand/v2", globalRandFuncs...) {
+		return seedClass{rank: seedDirty, why: fmt.Sprintf("the global math/rand source (rand.%s)", obj.Name())}
+	}
+	if isFuncNamed(obj, "fault", "SubSeed") {
+		// The parent argument is checked at the SubSeed call itself
+		// (checkDemandSites), so the derived value is clean here.
+		return seedClass{rank: seedBlessed}
+	}
+	if fnT, ok := obj.(*types.Func); ok {
+		if sig, ok := fnT.Type().(*types.Signature); ok && sig.Recv() != nil {
+			switch namedTypeName(sig.Recv().Type()) {
+			case "Time":
+				if c := s.classifyTimeRecv(call, fn, visiting); c.rank == seedDirty {
+					return c
+				}
+				return seedClass{rank: seedDirty, why: "a time.Time value"}
+			case "Rand", "PCG", "ChaCha8", "Source":
+				return seedClass{rank: seedDirty, why: "a PRNG draw; derive child seeds with fault.SubSeed, not by drawing from a generator"}
+			}
+		}
+	}
+	if seedish(obj.Name()) {
+		return seedClass{rank: seedBlessed} // a seed-derivation helper; its own consumers are checked where they sit
+	}
+	return seedClass{rank: seedDirty, why: fmt.Sprintf("the result of %s, which is not a recognized seed derivation", obj.Name())}
+}
+
+// classifyTimeRecv ranks the receiver of a time.Time method call, so
+// time.Now().UnixNano() names the wall clock rather than the generic
+// "a time.Time value".
+func (s *seedScan) classifyTimeRecv(call *ast.CallExpr, fn *seedFn, visiting map[types.Object]bool) seedClass {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return s.classify(sel.X, fn, visiting)
+	}
+	return seedClass{rank: seedBlessed}
+}
+
+// combineSeed folds two operand classifications: dirty dominates,
+// blessed absorbs literal (blessings' parameter obligations merge).
+func combineSeed(a, b seedClass) seedClass {
+	if a.rank == seedDirty {
+		return a
+	}
+	if b.rank == seedDirty {
+		return b
+	}
+	if a.rank == seedBlessed && b.rank == seedBlessed {
+		return seedClass{rank: seedBlessed, params: append(append([]types.Object{}, a.params...), b.params...)}
+	}
+	if a.rank == seedBlessed {
+		return a
+	}
+	if b.rank == seedBlessed {
+		return b
+	}
+	if a.why == "" {
+		return b
+	}
+	return a
+}

@@ -12,17 +12,18 @@ import (
 // return. A span that never ends is silently dropped by the tracer —
 // the hierarchy under it reparents wrongly and the Chrome export lies.
 //
-// The check is a block-structured dominator approximation over the AST:
-// a discarded result is always a leak; an assigned span must End before
-// the enclosing function can return or fall off its end, and before a
-// loop iteration that opened it can wrap around. Paths that panic are
-// exempt (the trace is moot on a crash). Spans that escape the local
-// scope (returned, stored, passed along) are the caller's responsibility
-// and are skipped.
+// The path check is the shared block-structured dominator approximation
+// in flow.go: a discarded result is always a leak; an assigned span must
+// End before the enclosing function can return or fall off its end, and
+// before a loop iteration that opened it can wrap around. Paths that
+// panic are exempt (the trace is moot on a crash). Spans that escape the
+// local scope (returned, stored, passed along) are the caller's
+// responsibility and are skipped.
 var SpanLeak = &Analyzer{
-	Name: "spanleak",
-	Doc:  "checks StartSpan/StartRun/StartIteration results reach End on all control-flow paths",
-	Run:  runSpanLeak,
+	Name:     "spanleak",
+	Doc:      "checks StartSpan/StartRun/StartIteration results reach End on all control-flow paths",
+	Severity: SeverityError,
+	Run:      runSpanLeak,
 }
 
 var spanStartMethods = []string{"StartSpan", "StartRun", "StartIteration"}
@@ -78,310 +79,25 @@ func checkSpanUse(p *Pass, parents map[ast.Node]ast.Node, call *ast.CallExpr, me
 		if fnBody == nil {
 			return
 		}
-		if hasDeferredEnd(p.Pkg.Info, fnBody, obj) {
+		pc := &pathCheck{info: p.Pkg.Info, closes: closesMethodOn(p.Pkg.Info, obj, "End")}
+		if pc.deferredClose(fnBody) {
 			return
 		}
-		if leaks(p.Pkg.Info, parents, fnBody, parent, obj) {
+		if pc.leaksFrom(parents, fnBody, parent) {
 			p.Reportf(call.Pos(), "span %s from %s is not closed on every path; defer %s.End() or End before each return", id.Name, method, id.Name)
 		}
 	}
 }
 
-// hasDeferredEnd reports whether fnBody defers obj.End(), directly or
-// inside a deferred closure. Nested function literals other than the
-// deferred one are skipped: their defers run at closure exit, not
-// function exit.
-func hasDeferredEnd(info *types.Info, fnBody *ast.BlockStmt, obj types.Object) bool {
-	found := false
-	inspectSkipFuncLits(fnBody, func(n ast.Node) bool {
-		d, ok := n.(*ast.DeferStmt)
-		if !ok {
-			return true
-		}
-		if isEndCall(info, d.Call, obj) {
-			found = true
+// closesMethodOn builds a closer matching obj.<method>(...), where obj is
+// the specific local object holding the resource.
+func closesMethodOn(info *types.Info, obj types.Object, method string) closer {
+	return func(call *ast.CallExpr) bool {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != method {
 			return false
 		}
-		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
-			ast.Inspect(lit.Body, func(m ast.Node) bool {
-				if c, ok := m.(*ast.CallExpr); ok && isEndCall(info, c, obj) {
-					found = true
-					return false
-				}
-				return true
-			})
-		}
-		return !found
-	})
-	return found
-}
-
-// isEndCall reports whether call is obj.End(...).
-func isEndCall(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "End" {
-		return false
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		return ok && info.Uses[id] == obj
 	}
-	id, ok := ast.Unparen(sel.X).(*ast.Ident)
-	return ok && info.Uses[id] == obj
-}
-
-// flowResult summarizes what the open-span paths through a region of the
-// function can do.
-type flowResult struct {
-	falls bool // a path reaches the region's end with the span open
-	brk   bool // a path breaks from the nearest loop/switch, span open
-	cont  bool // a path continues the nearest loop, span open
-	bad   bool // a path leaks: exits the function, or wraps the loop
-	//            iteration that opened the span, without End
-}
-
-// leaks runs the structural dominator check. It descends from the
-// function body along the chain of nodes enclosing the assignment, then
-// tracks the open-span paths forward to every exit.
-func leaks(info *types.Info, parents map[ast.Node]ast.Node, fnBody *ast.BlockStmt, assign ast.Stmt, obj types.Object) bool {
-	chain := make(map[ast.Node]bool)
-	for n := ast.Node(assign); n != nil && n != ast.Node(fnBody); n = parents[n] {
-		chain[n] = true
-	}
-	r := analyzeFrom(info, fnBody.List, chain, assign, obj)
-	// Any open path still live at the function body's end — falling off
-	// the end (an implicit return) or a stray break/continue — is a leak.
-	return r.bad || r.falls || r.brk || r.cont
-}
-
-// analyzeFrom analyzes a statement list that contains (a node on the
-// chain to) the assignment: the span opens partway through the list, and
-// the suffix after it must close every open path.
-func analyzeFrom(info *types.Info, stmts []ast.Stmt, chain map[ast.Node]bool, assign ast.Stmt, obj types.Object) flowResult {
-	res := flowResult{}
-	started, open := false, false
-	for _, s := range stmts {
-		if !started {
-			if chain[s] || ast.Node(s) == ast.Node(assign) {
-				started = true
-				r := analyzeEntry(info, s, chain, assign, obj)
-				res.bad = res.bad || r.bad
-				res.brk = res.brk || r.brk
-				res.cont = res.cont || r.cont
-				open = r.falls
-			}
-			continue
-		}
-		if !open {
-			break
-		}
-		r := analyzeStmt(info, s, obj)
-		res.bad = res.bad || r.bad
-		res.brk = res.brk || r.brk
-		res.cont = res.cont || r.cont
-		open = r.falls
-	}
-	res.falls = started && open
-	return res
-}
-
-// analyzeEntry analyzes the chain statement through which control reaches
-// the assignment, returning the open-span paths that emerge from it.
-func analyzeEntry(info *types.Info, stmt ast.Stmt, chain map[ast.Node]bool, assign ast.Stmt, obj types.Object) flowResult {
-	if ast.Node(stmt) == ast.Node(assign) {
-		return flowResult{falls: true} // the span has just opened
-	}
-	switch s := stmt.(type) {
-	case *ast.BlockStmt:
-		return analyzeFrom(info, s.List, chain, assign, obj)
-	case *ast.LabeledStmt:
-		return analyzeEntry(info, s.Stmt, chain, assign, obj)
-	case *ast.IfStmt:
-		if ast.Node(s.Init) == ast.Node(assign) {
-			// if sp := m.StartSpan(...); cond { … }: open in both branches.
-			t := analyzeList(info, s.Body.List, obj)
-			e := flowResult{falls: true}
-			if s.Else != nil {
-				e = analyzeStmt(info, s.Else, obj)
-			}
-			return mergeBranches(t, e)
-		}
-		if chain[s.Body] {
-			return analyzeFrom(info, s.Body.List, chain, assign, obj)
-		}
-		if s.Else != nil && chain[s.Else] {
-			return analyzeEntry(info, s.Else, chain, assign, obj)
-		}
-	case *ast.ForStmt:
-		if chain[s.Body] {
-			return loopEntry(analyzeFrom(info, s.Body.List, chain, assign, obj))
-		}
-	case *ast.RangeStmt:
-		if chain[s.Body] {
-			return loopEntry(analyzeFrom(info, s.Body.List, chain, assign, obj))
-		}
-	case *ast.SwitchStmt:
-		return clauseEntry(info, s.Body, chain, assign, obj)
-	case *ast.TypeSwitchStmt:
-		return clauseEntry(info, s.Body, chain, assign, obj)
-	case *ast.SelectStmt:
-		return clauseEntry(info, s.Body, chain, assign, obj)
-	}
-	// Unhandled shape (assignment inside an expression statement's
-	// closure never reaches here; enclosingFunc scopes to the literal).
-	// Fail open on the entry statement and let the suffix check decide.
-	return flowResult{falls: true}
-}
-
-// loopEntry folds a loop body's outcome when the span was opened inside
-// that body: wrapping the iteration (falling off the body or continue)
-// leaks the span opened this iteration; break carries it out to the
-// statements after the loop.
-func loopEntry(body flowResult) flowResult {
-	return flowResult{
-		falls: body.brk,
-		bad:   body.bad || body.falls || body.cont,
-	}
-}
-
-// clauseEntry descends into the switch/select clause on the chain; a
-// break inside the clause exits the construct, i.e. falls onward.
-func clauseEntry(info *types.Info, body *ast.BlockStmt, chain map[ast.Node]bool, assign ast.Stmt, obj types.Object) flowResult {
-	for _, clause := range body.List {
-		if !chain[clause] {
-			continue
-		}
-		var stmts []ast.Stmt
-		switch c := clause.(type) {
-		case *ast.CaseClause:
-			stmts = c.Body
-		case *ast.CommClause:
-			stmts = c.Body
-		}
-		r := analyzeFrom(info, stmts, chain, assign, obj)
-		return flowResult{falls: r.falls || r.brk, cont: r.cont, bad: r.bad}
-	}
-	return flowResult{falls: true}
-}
-
-// analyzeList walks one statement list with the span open on entry,
-// tracking whether an open-span path survives each statement.
-func analyzeList(info *types.Info, stmts []ast.Stmt, obj types.Object) flowResult {
-	res := flowResult{}
-	open := true
-	for _, s := range stmts {
-		if !open {
-			break
-		}
-		r := analyzeStmt(info, s, obj)
-		res.bad = res.bad || r.bad
-		res.brk = res.brk || r.brk
-		res.cont = res.cont || r.cont
-		open = r.falls
-	}
-	res.falls = open
-	return res
-}
-
-// analyzeStmt analyzes one statement executed with the span open. falls
-// means an open-span path continues to the next statement.
-func analyzeStmt(info *types.Info, stmt ast.Stmt, obj types.Object) flowResult {
-	switch s := stmt.(type) {
-	case *ast.ExprStmt:
-		if call, ok := s.X.(*ast.CallExpr); ok {
-			if isEndCall(info, call, obj) {
-				return flowResult{} // span closed; path is now fine
-			}
-			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
-				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
-					return flowResult{} // crash path; trace correctness is moot
-				}
-			}
-		}
-		return flowResult{falls: true}
-	case *ast.DeferStmt:
-		if isEndCall(info, s.Call, obj) {
-			return flowResult{} // deferred End covers every later exit
-		}
-		return flowResult{falls: true}
-	case *ast.ReturnStmt:
-		return flowResult{bad: true}
-	case *ast.BranchStmt:
-		switch s.Tok.String() {
-		case "break":
-			return flowResult{brk: true}
-		case "continue":
-			return flowResult{cont: true}
-		default: // goto, fallthrough: fail closed rather than model them
-			return flowResult{bad: true}
-		}
-	case *ast.BlockStmt:
-		return analyzeList(info, s.List, obj)
-	case *ast.LabeledStmt:
-		return analyzeStmt(info, s.Stmt, obj)
-	case *ast.IfStmt:
-		t := analyzeList(info, s.Body.List, obj)
-		e := flowResult{falls: true} // no else: the condition may skip the body
-		if s.Else != nil {
-			e = analyzeStmt(info, s.Else, obj)
-		}
-		return mergeBranches(t, e)
-	case *ast.ForStmt:
-		return loopOver(analyzeList(info, s.Body.List, obj))
-	case *ast.RangeStmt:
-		return loopOver(analyzeList(info, s.Body.List, obj))
-	case *ast.SwitchStmt:
-		return switchOver(info, s.Body, obj, hasDefaultClause(s.Body))
-	case *ast.TypeSwitchStmt:
-		return switchOver(info, s.Body, obj, hasDefaultClause(s.Body))
-	case *ast.SelectStmt:
-		// Every executed path runs exactly one clause; with no default
-		// the select blocks until one fires.
-		return switchOver(info, s.Body, obj, true)
-	}
-	return flowResult{falls: true}
-}
-
-// mergeBranches combines two alternative branch outcomes.
-func mergeBranches(a, b flowResult) flowResult {
-	return flowResult{
-		falls: a.falls || b.falls,
-		brk:   a.brk || b.brk,
-		cont:  a.cont || b.cont,
-		bad:   a.bad || b.bad,
-	}
-}
-
-// loopOver folds a loop body's outcome when the span predates the loop:
-// the body may run zero times, and break/continue stay within the loop,
-// so the span stays open (falls) unless a path inside leaks outright.
-// An End inside the body cannot close the zero-iteration path.
-func loopOver(body flowResult) flowResult {
-	return flowResult{falls: true, bad: body.bad}
-}
-
-// switchOver folds the clause outcomes of a switch/select body entered
-// with the span open; break inside a clause exits the construct.
-func switchOver(info *types.Info, body *ast.BlockStmt, obj types.Object, exhaustive bool) flowResult {
-	res := flowResult{falls: !exhaustive}
-	for _, clause := range body.List {
-		var stmts []ast.Stmt
-		switch c := clause.(type) {
-		case *ast.CaseClause:
-			stmts = c.Body
-		case *ast.CommClause:
-			stmts = c.Body
-		}
-		r := analyzeList(info, stmts, obj)
-		res.falls = res.falls || r.falls || r.brk
-		res.cont = res.cont || r.cont
-		res.bad = res.bad || r.bad
-	}
-	return res
-}
-
-// hasDefaultClause reports whether a switch body has a default case.
-func hasDefaultClause(body *ast.BlockStmt) bool {
-	for _, clause := range body.List {
-		if c, ok := clause.(*ast.CaseClause); ok && c.List == nil {
-			return true
-		}
-	}
-	return false
 }

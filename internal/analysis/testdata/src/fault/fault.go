@@ -23,3 +23,9 @@ type Policy struct{}
 // Corruptor stands in for the SDC corruptor runtimes wire up; its use
 // marks a package as fault-participating for launchcheck.
 type Corruptor struct{}
+
+// SubSeed mirrors the real splitmix-style child-seed derivation seedflow
+// blesses; the stub just needs the (parent, stream) shape.
+func SubSeed(parent, stream int64) int64 {
+	return parent*31 + stream
+}

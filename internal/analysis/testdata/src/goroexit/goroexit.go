@@ -1,0 +1,85 @@
+// Package goroexit is the fixture for hetlint's join-accounting analyzer:
+// every go statement must be observable at shutdown via WaitGroup
+// pairing, a ctx.Done() receive, or a channel handoff the spawner
+// receives.
+package goroexit
+
+import (
+	"context"
+	"sync"
+)
+
+func goodWaitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func brokenDone(cond bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `goroutine's wg.Done\(\) is not reached on every path`
+		if cond {
+			return
+		}
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+func goodCtx(ctx context.Context, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-work:
+				_ = v
+			}
+		}
+	}()
+}
+
+func goodHandoff() {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}
+
+func goodSendHandoff() int {
+	out := make(chan int)
+	go func() {
+		out <- 1
+	}()
+	return <-out
+}
+
+func unaccounted() {
+	go func() { // want `go statement is not join-accounted`
+	}()
+}
+
+func external(f func()) {
+	go f() // want `goroutine body is not visible to hetlint`
+}
+
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func (p *pool) run() {
+	defer p.wg.Done()
+}
+
+func (p *pool) spawnNamed() {
+	p.wg.Add(1)
+	go p.run() // good: named callee, Done deferred in its body
+	p.wg.Wait()
+}

@@ -1,0 +1,54 @@
+// Package wallclock is the fixture for hetlint's call-graph wall-clock
+// analyzer: a helper that reads time.Now/Since taints every value flowing
+// from it, and wallclock reports the flow-mediated sinks — returns and
+// ordered result output — that detnondet's per-expression rule misses.
+package wallclock
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// elapsed reads the wall clock directly. The time.Since call itself is
+// detnondet's finding; wallclock's contribution is tainting elapsed so
+// its callers below are caught.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func viaLocal(start time.Time) time.Duration {
+	d := time.Since(start)
+	return d // want `return value derives from the wall clock through d`
+}
+
+func viaHelper(start time.Time) time.Duration {
+	return elapsed(start) // want `return value derives from the wall clock through elapsed`
+}
+
+func viaChain(start time.Time) float64 {
+	ms := float64(viaLocal(start).Milliseconds())
+	return ms // want `return value derives from the wall clock through ms`
+}
+
+func report(w io.Writer, start time.Time) {
+	fmt.Fprintf(w, "took %v\n", elapsed(start)) // want `fmt.Fprintf argument derives from the wall clock through elapsed`
+}
+
+func named(start time.Time) (d time.Duration) {
+	d = elapsed(start)
+	return // want `return carries a wall-clock-derived value`
+}
+
+// cleanVirtual works purely in virtual time: no taint, no finding.
+func cleanVirtual(nowNS int64) int64 {
+	d := nowNS + 5
+	return d
+}
+
+// sideEffectOnly calls a tainted helper but never lets the value reach a
+// result path; wallclock stays quiet (the time.Since inside elapsed is
+// still detnondet's business).
+func sideEffectOnly(start time.Time) {
+	_ = elapsed(start)
+}

@@ -1,0 +1,275 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallClock deepens detnondet's per-expression wall-clock rule into a
+// package-internal call-graph taint analysis for the result packages (any
+// import-path segment equal to sim, fleet, fault, workload or sched). A
+// function whose return value derives from time.Now or time.Since —
+// directly, through local variables, or through calls to other tainted
+// functions in the same package — taints every caller. WallClock reports
+// the *flow-mediated* sinks detnondet cannot see:
+//
+//   - a return statement whose result carries taint through a local
+//     variable or a tainted helper call (the direct `return time.Since(t)`
+//     is detnondet's finding, not wallclock's);
+//   - an ordered-writer call (fmt.Fprintf, WriteString, …) whose argument
+//     carries such taint.
+//
+// The analysis is package-local: calls into other packages and through
+// interfaces are not tracked, and nested function literals are opaque.
+var WallClock = &Analyzer{
+	Name:     "wallclock",
+	Doc:      "traces wall-clock taint through package-internal helpers into returns and ordered result output",
+	Severity: SeverityError,
+	Run:      runWallClock,
+}
+
+// clockFn is one declaration in the taint fixpoint.
+type clockFn struct {
+	obj          *types.Func
+	decl         *ast.FuncDecl
+	namedResults map[types.Object]bool
+	local        map[types.Object]bool // locals carrying clock taint (final round)
+}
+
+type clockScan struct {
+	pass    *Pass
+	info    *types.Info
+	decls   []*clockFn
+	tainted map[*types.Func]bool
+}
+
+func runWallClock(p *Pass) {
+	if !scopedTo(p.Pkg.Path, "wallclock", "sim", "fleet", "fault", "workload", "sched") {
+		return
+	}
+	w := &clockScan{pass: p, info: p.Pkg.Info, tainted: make(map[*types.Func]bool)}
+	w.collect()
+	w.fixpoint()
+	w.report()
+}
+
+func (w *clockScan) collect() {
+	for _, f := range w.pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := w.info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			cf := &clockFn{obj: obj, decl: fd, namedResults: make(map[types.Object]bool)}
+			if fd.Type.Results != nil {
+				for _, field := range fd.Type.Results.List {
+					for _, name := range field.Names {
+						if o := w.info.Defs[name]; o != nil {
+							cf.namedResults[o] = true
+						}
+					}
+				}
+			}
+			w.decls = append(w.decls, cf)
+		}
+	}
+}
+
+// fixpoint grows the tainted-function set until stable: each round
+// recomputes every untainted declaration's local dataflow against the
+// current set and marks it tainted if a return carries the clock.
+func (w *clockScan) fixpoint() {
+	for changed := true; changed; {
+		changed = false
+		for _, cf := range w.decls {
+			if w.tainted[cf.obj] {
+				continue
+			}
+			cf.local = w.localTaint(cf)
+			if w.returnsClock(cf) {
+				w.tainted[cf.obj] = true
+				changed = true
+			}
+		}
+	}
+	// One final dataflow round so untainted functions' local sets reflect
+	// the complete tainted-function set when reporting.
+	for _, cf := range w.decls {
+		cf.local = w.localTaint(cf)
+	}
+}
+
+// localTaint computes the declaration's clock-tainted locals to a local
+// fixpoint (assignment chains: t := time.Now(); u := t; …).
+func (w *clockScan) localTaint(cf *clockFn) map[types.Object]bool {
+	local := make(map[types.Object]bool)
+	mark := func(lhs ast.Expr) bool {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := w.info.Defs[id]
+		if obj == nil {
+			obj = w.info.Uses[id]
+		}
+		if obj == nil || local[obj] {
+			return false
+		}
+		local[obj] = true
+		return true
+	}
+	for stable := false; !stable; {
+		stable = true
+		ast.Inspect(cf.decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i, lhs := range n.Lhs {
+						if w.clockExpr(n.Rhs[i], local) && mark(lhs) {
+							stable = false
+						}
+					}
+				} else if len(n.Rhs) == 1 && w.clockExpr(n.Rhs[0], local) {
+					for _, lhs := range n.Lhs {
+						if mark(lhs) {
+							stable = false
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					var rhs ast.Expr
+					if len(n.Values) == len(n.Names) {
+						rhs = n.Values[i]
+					} else if len(n.Values) == 1 {
+						rhs = n.Values[0]
+					}
+					if rhs != nil && w.clockExpr(rhs, local) && mark(name) {
+						stable = false
+					}
+				}
+			}
+			return true
+		})
+	}
+	return local
+}
+
+// returnsClock reports whether some return path carries clock taint.
+func (w *clockScan) returnsClock(cf *clockFn) bool {
+	found := false
+	inspectSkipFuncLits(cf.decl.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || found {
+			return !found
+		}
+		if len(ret.Results) == 0 {
+			// Naked return: tainted named results escape here.
+			for o := range cf.namedResults {
+				if cf.local[o] {
+					found = true
+				}
+			}
+			return true
+		}
+		for _, r := range ret.Results {
+			if w.clockExpr(r, cf.local) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// clockExpr reports whether e carries clock taint from any source:
+// a direct time.Now/Since call, a call to a tainted package function, or
+// a tainted local. Function literals are opaque.
+func (w *clockScan) clockExpr(e ast.Expr, local map[types.Object]bool) bool {
+	found := false
+	inspectSkipFuncLits(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			obj := calleeObj(w.info, n)
+			if isPkgFunc(obj, "time", "Now", "Since") {
+				found = true
+			}
+			if fn, ok := obj.(*types.Func); ok && w.tainted[fn] {
+				found = true
+			}
+		case *ast.Ident:
+			if obj := w.info.Uses[n]; obj != nil && local[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// flowTaint reports whether e carries clock taint *through dataflow* — a
+// tainted helper call or a tainted local — and names the carrier. Direct
+// time.Now/Since in e itself is detnondet's finding, not wallclock's.
+func (w *clockScan) flowTaint(e ast.Expr, local map[types.Object]bool) (string, bool) {
+	name, found := "", false
+	inspectSkipFuncLits(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn, ok := calleeObj(w.info, n).(*types.Func); ok && w.tainted[fn] {
+				name, found = fn.Name(), true
+			}
+		case *ast.Ident:
+			if obj := w.info.Uses[n]; obj != nil && local[obj] {
+				name, found = n.Name, true
+			}
+		}
+		return !found
+	})
+	return name, found
+}
+
+// report walks every declaration's sinks with the final taint sets.
+func (w *clockScan) report() {
+	for _, cf := range w.decls {
+		inspectSkipFuncLits(cf.decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ReturnStmt:
+				if len(n.Results) == 0 {
+					for o := range cf.namedResults {
+						if cf.local[o] {
+							w.pass.Reportf(n.Pos(), "return carries a wall-clock-derived value (named result tainted via time.Now/Since); results must derive from the seed and the virtual clocks")
+							break
+						}
+					}
+					return true
+				}
+				for _, r := range n.Results {
+					if carrier, ok := w.flowTaint(r, cf.local); ok {
+						w.pass.Reportf(r.Pos(), "return value derives from the wall clock through %s; results must derive from the seed and the virtual clocks", carrier)
+					}
+				}
+			case *ast.CallExpr:
+				sink, ok := orderedWriteCall(w.info, n)
+				if !ok {
+					return true
+				}
+				for _, arg := range n.Args {
+					if carrier, ok := w.flowTaint(arg, cf.local); ok {
+						w.pass.Reportf(arg.Pos(), "%s argument derives from the wall clock through %s; result output must derive from the virtual clocks", sink, carrier)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
